@@ -1,0 +1,412 @@
+//! Exponential Information Gathering (EIG) Byzantine broadcast.
+//!
+//! The classic Pease–Shostak–Lamport protocol [19]: `f + 1` relay rounds
+//! build, at every node, a tree of claims `val(σ)` — "node `i_k` said that
+//! `i_{k-1}` said that … the source said `v`" — after which each node
+//! decides by recursive strict-majority over the tree. Correct for
+//! `n > 3f` participants on a (possibly emulated) complete graph.
+//!
+//! NAB invokes this as `Broadcast_Default` for the 1-bit equality-check
+//! flags (step 2.2) and for the dispute-control transcript claims (Phase 3);
+//! its cost is the `O(n^α)` per-bit overhead that the throughput analysis
+//! amortizes away.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Re-export: node identifier.
+pub use nab_netgraph::NodeId;
+
+/// Adversary hook: chooses what a *faulty* node transmits at each point of
+/// the EIG protocol.
+pub trait EigAdversary<V> {
+    /// The value faulty `sender` reports to `receiver` for claim-path
+    /// `path` (which ends in `sender`); `honest` is what a correct node
+    /// would have sent.
+    fn send_value(&mut self, sender: NodeId, path: &[NodeId], receiver: NodeId, honest: &V) -> V;
+}
+
+/// The trivial adversary: faulty nodes follow the protocol.
+#[derive(Debug, Clone, Default)]
+pub struct HonestAdversary;
+
+impl<V: Clone> EigAdversary<V> for HonestAdversary {
+    fn send_value(&mut self, _: NodeId, _: &[NodeId], _: NodeId, honest: &V) -> V {
+        honest.clone()
+    }
+}
+
+/// Outcome of one EIG broadcast.
+#[derive(Debug, Clone)]
+pub struct EigResult<V> {
+    /// Decision of every participant (faulty ones included, for
+    /// inspection; only fault-free decisions are meaningful).
+    pub decisions: BTreeMap<NodeId, V>,
+    /// Number of logical point-to-point messages exchanged.
+    pub messages: u64,
+}
+
+/// The transport EIG runs over: a reliable logical unicast (on a real
+/// complete graph this is a link; on an incomplete one, a
+/// [`crate::router::PathRouter`] majority-unicast).
+pub trait EigChannel<V> {
+    /// Delivers `value` from `from` to `to`, returning what arrives.
+    fn unicast(&mut self, from: NodeId, to: NodeId, bits: u64, value: V) -> V;
+}
+
+/// An ideal channel: direct, lossless, free. Useful for unit tests and for
+/// cost models that charge communication separately.
+#[derive(Debug, Clone, Default)]
+pub struct IdealChannel;
+
+impl<V> EigChannel<V> for IdealChannel {
+    fn unicast(&mut self, _: NodeId, _: NodeId, _: u64, value: V) -> V {
+        value
+    }
+}
+
+/// Runs one EIG Byzantine broadcast.
+///
+/// - `participants`: the nodes taking part (must include `source`);
+/// - `f`: upper bound on the number of faulty *participants*;
+/// - `input`: the source's input value;
+/// - `faulty` / `adversary`: which nodes misbehave and how;
+/// - `chan`: the transport;
+/// - `bits`: the width charged per logical message.
+///
+/// Guarantees (for `|participants| > 3f`): all fault-free participants
+/// decide the same value, equal to `input` when the source is fault-free.
+///
+/// # Panics
+///
+/// Panics if `source` is not a participant or `|participants| ≤ 3f`.
+pub fn run_eig<V, C>(
+    participants: &[NodeId],
+    source: NodeId,
+    f: usize,
+    input: V,
+    faulty: &BTreeSet<NodeId>,
+    adversary: &mut dyn EigAdversary<V>,
+    chan: &mut C,
+    bits: u64,
+) -> EigResult<V>
+where
+    V: Clone + Eq + Default,
+    C: EigChannel<V>,
+{
+    assert!(participants.contains(&source), "source must participate");
+    assert!(
+        participants.len() > 3 * f,
+        "EIG requires n > 3f (n={}, f={f})",
+        participants.len()
+    );
+
+    let mut messages = 0u64;
+    // Per-node claim trees: path -> value heard.
+    let mut trees: BTreeMap<NodeId, HashMap<Vec<NodeId>, V>> = participants
+        .iter()
+        .map(|&p| (p, HashMap::new()))
+        .collect();
+
+    // Round 1: the source announces its input.
+    let root_path = vec![source];
+    for &r in participants {
+        let honest = input.clone();
+        let sent = if faulty.contains(&source) {
+            adversary.send_value(source, &root_path, r, &honest)
+        } else {
+            honest
+        };
+        let got = if r == source {
+            sent // self-delivery
+        } else {
+            messages += 1;
+            chan.unicast(source, r, bits, sent)
+        };
+        trees.get_mut(&r).unwrap().insert(root_path.clone(), got);
+    }
+
+    // Rounds 2..=f+1: relay every level-(k-1) claim.
+    for level in 1..=f {
+        // Paths of length `level` currently known (same set at every node).
+        let paths: Vec<Vec<NodeId>> = trees[&source]
+            .keys()
+            .filter(|p| p.len() == level)
+            .cloned()
+            .collect();
+        let mut new_entries: Vec<(NodeId, Vec<NodeId>, V)> = Vec::new();
+        for path in &paths {
+            for &relay in participants {
+                if path.contains(&relay) {
+                    continue;
+                }
+                let mut new_path = path.clone();
+                new_path.push(relay);
+                let honest = trees[&relay]
+                    .get(path)
+                    .cloned()
+                    .unwrap_or_default();
+                for &r in participants {
+                    if r == relay {
+                        new_entries.push((r, new_path.clone(), honest.clone()));
+                        continue;
+                    }
+                    let sent = if faulty.contains(&relay) {
+                        adversary.send_value(relay, &new_path, r, &honest)
+                    } else {
+                        honest.clone()
+                    };
+                    messages += 1;
+                    let got = chan.unicast(relay, r, bits, sent);
+                    new_entries.push((r, new_path.clone(), got));
+                }
+            }
+        }
+        for (node, path, v) in new_entries {
+            trees.get_mut(&node).unwrap().insert(path, v);
+        }
+    }
+
+    // Decision: recursive strict-majority resolve from the root.
+    let mut decisions = BTreeMap::new();
+    for &p in participants {
+        let tree = &trees[&p];
+        let v = resolve(tree, &root_path, participants, f);
+        decisions.insert(p, v);
+    }
+
+    EigResult {
+        decisions,
+        messages,
+    }
+}
+
+/// Recursive EIG resolution: leaves report their stored value; internal
+/// paths take the strict majority of their children (default on tie).
+fn resolve<V: Clone + Eq + Default>(
+    tree: &HashMap<Vec<NodeId>, V>,
+    path: &[NodeId],
+    participants: &[NodeId],
+    f: usize,
+) -> V {
+    if path.len() == f + 1 {
+        return tree.get(path).cloned().unwrap_or_default();
+    }
+    let mut children: Vec<V> = Vec::new();
+    for &j in participants {
+        if path.contains(&j) {
+            continue;
+        }
+        let mut child = path.to_vec();
+        child.push(j);
+        children.push(resolve(tree, &child, participants, f));
+    }
+    // No strict majority → the protocol-wide default value. (Falling back
+    // to the node's own stored value would break agreement: an
+    // equivocating source gives every node a different stored value.)
+    crate::router::majority(&children).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Adversary: faulty nodes send `receiver-id`-dependent garbage.
+    struct Equivocator;
+
+    impl EigAdversary<u64> for Equivocator {
+        fn send_value(&mut self, _: NodeId, _: &[NodeId], receiver: NodeId, _: &u64) -> u64 {
+            receiver as u64 * 1000 + 7
+        }
+    }
+
+    /// Adversary: flips the honest value deterministically.
+    struct Flipper;
+
+    impl EigAdversary<u64> for Flipper {
+        fn send_value(&mut self, _: NodeId, _: &[NodeId], _: NodeId, honest: &u64) -> u64 {
+            honest ^ 1
+        }
+    }
+
+    fn all_agree(res: &EigResult<u64>, honest: &[NodeId]) -> Option<u64> {
+        let vals: Vec<u64> = honest.iter().map(|n| res.decisions[n]).collect();
+        vals.windows(2).all(|w| w[0] == w[1]).then(|| vals[0])
+    }
+
+    #[test]
+    fn validity_with_honest_source() {
+        let parts: Vec<NodeId> = (0..4).collect();
+        let res = run_eig(
+            &parts,
+            0,
+            1,
+            77u64,
+            &BTreeSet::new(),
+            &mut HonestAdversary,
+            &mut IdealChannel,
+            1,
+        );
+        assert_eq!(all_agree(&res, &parts), Some(77));
+    }
+
+    #[test]
+    fn agreement_with_equivocating_source_f1() {
+        let parts: Vec<NodeId> = (0..4).collect();
+        let faulty = BTreeSet::from([0]);
+        let res = run_eig(
+            &parts,
+            0,
+            1,
+            77u64,
+            &faulty,
+            &mut Equivocator,
+            &mut IdealChannel,
+            1,
+        );
+        let honest: Vec<NodeId> = (1..4).collect();
+        assert!(all_agree(&res, &honest).is_some(), "honest nodes must agree");
+    }
+
+    #[test]
+    fn validity_despite_faulty_relay_f1() {
+        let parts: Vec<NodeId> = (0..4).collect();
+        let faulty = BTreeSet::from([2]);
+        let res = run_eig(
+            &parts,
+            0,
+            1,
+            5u64,
+            &faulty,
+            &mut Flipper,
+            &mut IdealChannel,
+            1,
+        );
+        for n in [0, 1, 3] {
+            assert_eq!(res.decisions[&n], 5, "node {n} must decide source value");
+        }
+    }
+
+    #[test]
+    fn agreement_with_two_faults_f2() {
+        let parts: Vec<NodeId> = (0..7).collect();
+        let faulty = BTreeSet::from([0, 3]);
+        let res = run_eig(
+            &parts,
+            0,
+            2,
+            9u64,
+            &faulty,
+            &mut Equivocator,
+            &mut IdealChannel,
+            1,
+        );
+        let honest: Vec<NodeId> = parts.iter().copied().filter(|n| !faulty.contains(n)).collect();
+        assert!(all_agree(&res, &honest).is_some());
+    }
+
+    #[test]
+    fn validity_with_two_faulty_relays_f2() {
+        let parts: Vec<NodeId> = (0..7).collect();
+        let faulty = BTreeSet::from([5, 6]);
+        let res = run_eig(
+            &parts,
+            0,
+            2,
+            13u64,
+            &faulty,
+            &mut Flipper,
+            &mut IdealChannel,
+            1,
+        );
+        for n in 0..5 {
+            assert_eq!(res.decisions[&n], 13);
+        }
+    }
+
+    #[test]
+    fn f0_is_single_round() {
+        let parts: Vec<NodeId> = (0..2).collect();
+        let res = run_eig(
+            &parts,
+            1,
+            0,
+            3u64,
+            &BTreeSet::new(),
+            &mut HonestAdversary,
+            &mut IdealChannel,
+            1,
+        );
+        assert_eq!(res.decisions[&0], 3);
+        assert_eq!(res.messages, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 3f")]
+    fn too_few_participants_rejected() {
+        let parts: Vec<NodeId> = (0..3).collect();
+        let _ = run_eig(
+            &parts,
+            0,
+            1,
+            0u64,
+            &BTreeSet::new(),
+            &mut HonestAdversary,
+            &mut IdealChannel,
+            1,
+        );
+    }
+
+    #[test]
+    fn works_with_string_values() {
+        // EIG is generic over the value domain — dispute control broadcasts
+        // structured claims, not bits.
+        let parts: Vec<NodeId> = (0..4).collect();
+        let res = run_eig(
+            &parts,
+            0,
+            1,
+            "claim:sent[1,2,3]".to_string(),
+            &BTreeSet::new(),
+            &mut HonestAdversary,
+            &mut IdealChannel,
+            128,
+        );
+        assert_eq!(res.decisions[&3], "claim:sent[1,2,3]");
+    }
+
+    /// Exhaustive check for n=4, f=1: for every choice of faulty node and
+    /// both adversaries, agreement + validity hold.
+    #[test]
+    fn exhaustive_single_fault_n4() {
+        let parts: Vec<NodeId> = (0..4).collect();
+        for bad in 0..4 {
+            for adv_kind in 0..2 {
+                let faulty = BTreeSet::from([bad]);
+                let mut equiv = Equivocator;
+                let mut flip = Flipper;
+                let adversary: &mut dyn EigAdversary<u64> = if adv_kind == 0 {
+                    &mut equiv
+                } else {
+                    &mut flip
+                };
+                let res = run_eig(
+                    &parts,
+                    0,
+                    1,
+                    42u64,
+                    &faulty,
+                    adversary,
+                    &mut IdealChannel,
+                    1,
+                );
+                let honest: Vec<NodeId> =
+                    parts.iter().copied().filter(|n| *n != bad).collect();
+                let agreed = all_agree(&res, &honest);
+                assert!(agreed.is_some(), "disagreement with faulty={bad}");
+                if bad != 0 {
+                    assert_eq!(agreed, Some(42), "validity violated with faulty={bad}");
+                }
+            }
+        }
+    }
+}

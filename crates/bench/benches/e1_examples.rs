@@ -1,0 +1,15 @@
+//! E1 bench: regenerates the Figure 1/2 quantities (min cuts, γ, U_k,
+//! arborescence and spanning-tree packings on the paper's examples).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_examples");
+    g.bench_function("figure_quantities", |b| {
+        b.iter(|| std::hint::black_box(nab_bench::e1_examples::run()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

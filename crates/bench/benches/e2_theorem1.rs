@@ -1,0 +1,26 @@
+//! E2 bench: one Theorem-1 Monte-Carlo trial (sample coding matrices,
+//! verify soundness on every Ω subgraph) at two symbol widths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nab::theory::theorem1_trial;
+use nab_gf::Gf2m;
+use nab_netgraph::gen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let g = gen::complete(4, 2);
+    let mut group = c.benchmark_group("e2_theorem1");
+    group.bench_function("trial_m8", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| std::hint::black_box(theorem1_trial::<Gf2m<8>, _>(&g, 1, 2, &mut rng)))
+    });
+    group.bench_function("trial_m16", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| std::hint::black_box(theorem1_trial::<Gf2m<16>, _>(&g, 1, 2, &mut rng)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

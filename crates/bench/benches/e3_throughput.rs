@@ -1,0 +1,44 @@
+//! E3 bench: one full NAB instance (all three phases' machinery, fault
+//! free and adversarial) on K4.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nab::adversary::{HonestStrategy, TruthfulCorruptor};
+use nab::engine::{NabConfig, NabEngine};
+use nab::value::Value;
+use nab_netgraph::gen;
+
+fn bench(c: &mut Criterion) {
+    let cfg = NabConfig {
+        f: 1,
+        symbols: 240,
+        seed: 7,
+    };
+    let input = Value::from_u64s(&(0..240).collect::<Vec<_>>());
+    let mut group = c.benchmark_group("e3_throughput");
+    group.bench_function("instance_fault_free", |b| {
+        b.iter_batched(
+            || NabEngine::new(gen::complete(4, 2), cfg).unwrap(),
+            |mut e| {
+                e.run_instance(&input, &BTreeSet::new(), &mut HonestStrategy)
+                    .unwrap()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("instance_with_corruptor", |b| {
+        b.iter_batched(
+            || NabEngine::new(gen::complete(4, 2), cfg).unwrap(),
+            |mut e| {
+                e.run_instance(&input, &BTreeSet::from([2]), &mut TruthfulCorruptor)
+                    .unwrap()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

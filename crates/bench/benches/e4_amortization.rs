@@ -1,0 +1,32 @@
+//! E4 bench: a short dispute-forcing series (false-alarm adversary over 4
+//! instances, including one dispute-control execution).
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nab::adversary::FalseAlarm;
+use nab_bench::e4_amortization::run_series;
+use nab_netgraph::gen;
+
+fn bench(c: &mut Criterion) {
+    let g = gen::complete(4, 2);
+    let mut group = c.benchmark_group("e4_amortization");
+    group.sample_size(20);
+    group.bench_function("false_alarm_series_q4", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_series(
+                "false-alarm",
+                &g,
+                1,
+                120,
+                4,
+                &BTreeSet::from([2]),
+                &mut FalseAlarm,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

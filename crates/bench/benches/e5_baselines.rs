@@ -1,0 +1,40 @@
+//! E5 bench: the capacity-oblivious baseline broadcast vs one NAB
+//! instance on the skewed network.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nab::adversary::HonestStrategy;
+use nab::engine::{NabConfig, NabEngine};
+use nab::value::Value;
+use nab_bb::baselines::oblivious_throughput;
+use nab_bench::e5_baselines::skewed_network;
+
+fn bench(c: &mut Criterion) {
+    let g = skewed_network(8);
+    let mut group = c.benchmark_group("e5_baselines");
+    group.sample_size(20);
+    group.bench_function("oblivious_broadcast", |b| {
+        b.iter(|| std::hint::black_box(oblivious_throughput(&g, 0, 1, 1920)))
+    });
+    let cfg = NabConfig {
+        f: 1,
+        symbols: 120,
+        seed: 1,
+    };
+    let input = Value::from_u64s(&(0..120).collect::<Vec<_>>());
+    group.bench_function("nab_instance", |b| {
+        b.iter_batched(
+            || NabEngine::new(g.clone(), cfg).unwrap(),
+            |mut e| {
+                e.run_instance(&input, &BTreeSet::new(), &mut HonestStrategy)
+                    .unwrap()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E6 bench: pipeline-model construction from real packings (γ, tree
+//! depth) plus the sweep itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nab_bench::e6_pipelining::{model_for, run};
+use nab_netgraph::gen;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_pipelining");
+    let ring = gen::ring(8, 2);
+    group.bench_function("model_from_ring8", |b| {
+        b.iter(|| std::hint::black_box(model_for("ring", &ring, 4096.0, 32.0)))
+    });
+    group.bench_function("full_sweep", |b| {
+        b.iter(|| std::hint::black_box(run(200)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

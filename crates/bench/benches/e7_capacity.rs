@@ -1,0 +1,22 @@
+//! E7 bench: the bounds report (γ*, ρ*, Eq.6, Theorem 2) for a single
+//! network and for the whole table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nab::bounds::bounds_report;
+use nab_netgraph::gen;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_capacity");
+    group.sample_size(20);
+    let k4 = gen::complete(4, 2);
+    group.bench_function("bounds_report_k4", |b| {
+        b.iter(|| std::hint::black_box(bounds_report(&k4, 0, 1, 1 << 18)))
+    });
+    group.bench_function("full_table", |b| {
+        b.iter(|| std::hint::black_box(nab_bench::e7_capacity::run()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E8 bench: the ρ-sweep soundness/attack analysis and the packing
+//! ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nab_bench::e8_ablation::{packing_ablation, rho_sweep};
+use nab_netgraph::gen;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_ablation");
+    group.sample_size(10);
+    let g = gen::complete(4, 2);
+    group.bench_function("rho_sweep_k4", |b| {
+        b.iter(|| std::hint::black_box(rho_sweep(&g, 960.0)))
+    });
+    group.bench_function("packing_ablation", |b| {
+        b.iter(|| std::hint::black_box(packing_ablation()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the substrates: field arithmetic, max-flow,
+//! packings, and the equality check.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nab::equality::{equality_check_flags, no_tamper, CodingScheme};
+use nab::value::Value;
+use nab_gf::field::Field;
+use nab_gf::{Gf2m, Gf2_16, Matrix};
+use nab_netgraph::arborescence::pack_arborescences;
+use nab_netgraph::flow::{broadcast_rate, min_cut};
+use nab_netgraph::gen;
+use nab_netgraph::treepack::pack_spanning_trees;
+use nab_netgraph::UnGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_gf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf");
+    let a16 = Gf2_16::from_u64(0xBEEF);
+    let b16 = Gf2_16::from_u64(0x1234);
+    group.bench_function("gf2_16_mul_table", |b| {
+        b.iter(|| std::hint::black_box(a16.mul(b16)))
+    });
+    let a32 = Gf2m::<32>::from_u64(0xDEADBEEF);
+    let b32 = Gf2m::<32>::from_u64(0x12345678);
+    group.bench_function("gf2_32_mul_clmul", |b| {
+        b.iter(|| std::hint::black_box(a32.mul(b32)))
+    });
+    group.bench_function("gf2_32_inv", |b| {
+        b.iter(|| std::hint::black_box(a32.inv()))
+    });
+    let mut rng = StdRng::seed_from_u64(5);
+    let m = Matrix::<Gf2_16>::random(16, 16, &mut rng);
+    group.bench_function("invert_16x16_gf2_16", |b| {
+        b.iter(|| std::hint::black_box(nab_gf::linalg::invert(&m)))
+    });
+    group.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netgraph");
+    let k8 = gen::complete(8, 3);
+    group.bench_function("min_cut_k8", |b| {
+        b.iter(|| std::hint::black_box(min_cut(&k8, 0, 7)))
+    });
+    group.bench_function("broadcast_rate_k8", |b| {
+        b.iter(|| std::hint::black_box(broadcast_rate(&k8, 0)))
+    });
+    group.sample_size(20);
+    group.bench_function("pack_arborescences_k6", |b| {
+        let g = gen::complete(6, 1);
+        b.iter(|| std::hint::black_box(pack_arborescences(&g, 0, 5)))
+    });
+    group.bench_function("pack_spanning_trees_k6", |b| {
+        let u = UnGraph::from_digraph(&gen::complete(6, 1));
+        b.iter(|| std::hint::black_box(pack_spanning_trees(&u, 4)))
+    });
+    group.finish();
+}
+
+fn bench_equality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("equality_check");
+    let g = gen::complete(6, 2);
+    let scheme = CodingScheme::random(&g, 2, 9);
+    let v = Value::from_u64s(&(0..512).collect::<Vec<_>>());
+    let values: std::collections::BTreeMap<_, _> = g.nodes().map(|n| (n, v.clone())).collect();
+    group.bench_function("flags_k6_512sym", |b| {
+        b.iter(|| {
+            std::hint::black_box(equality_check_flags(&g, &values, &scheme, &mut no_tamper))
+        })
+    });
+    group.bench_function("encode_one_edge_512sym", |b| {
+        b.iter(|| std::hint::black_box(scheme.encode(0, 1, &v)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gf, bench_graph, bench_equality);
+criterion_main!(benches);

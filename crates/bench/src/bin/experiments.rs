@@ -1,0 +1,53 @@
+//! Regenerates every paper artifact and prints the paper-vs-measured
+//! tables recorded in EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p nab-bench --bin experiments [--quick]`
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (trials, q, scales): (usize, usize, &[u64]) = if quick {
+        (40, 3, &[1, 4, 16])
+    } else {
+        (200, 8, &[1, 2, 4, 8, 16, 32])
+    };
+
+    println!("# NAB experiment suite (quick={quick})\n");
+
+    println!("## E1 — paper worked examples (Figures 1–2)\n");
+    println!("{}", nab_bench::e1_examples::table());
+
+    println!("## E2 — Theorem 1 soundness probability vs symbol width\n");
+    let e2 = nab_bench::e2_theorem1::run_default(trials);
+    println!("{}", nab_bench::e2_theorem1::table(&e2));
+
+    println!("## E3 — throughput vs Eq.6 lower bound and Theorem 2 capacity bound\n");
+    let e3 = nab_bench::e3_throughput::run(if quick { 480 } else { 1200 }, q);
+    println!("{}", nab_bench::e3_throughput::table(&e3));
+
+    println!("## E4 — dispute-control amortization (budget f(f+1))\n");
+    let e4 = nab_bench::e4_amortization::run_default(if quick { 6 } else { 12 });
+    println!("{}", nab_bench::e4_amortization::table(&e4));
+    for s in &e4 {
+        let times: Vec<String> = s.points.iter().map(|p| format!("{:.0}", p.time)).collect();
+        println!("  {} per-instance times: [{}]", s.adversary, times.join(", "));
+    }
+    println!();
+
+    println!("## E5 — NAB vs capacity-oblivious baseline (capacity skew sweep)\n");
+    let e5 = nab_bench::e5_baselines::run(scales, 480, q.min(4));
+    println!("{}", nab_bench::e5_baselines::table(&e5));
+
+    println!("## E6 — pipelining under propagation delay (Figure 3 model)\n");
+    let e6 = nab_bench::e6_pipelining::run(if quick { 100 } else { 1000 });
+    println!("{}", nab_bench::e6_pipelining::table(&e6));
+
+    println!("## E7 — capacity table (Theorem 2 + Theorem 3 fractions)\n");
+    let e7 = nab_bench::e7_capacity::run();
+    println!("{}", nab_bench::e7_capacity::table(&e7));
+
+    println!("## E8 — ablations: ρ sweep, coding-matrix construction, tree packing\n");
+    let rho = nab_bench::e8_ablation::rho_sweep(&nab_netgraph::gen::complete(4, 2), 960.0);
+    println!("{}", nab_bench::e8_ablation::rho_table(&rho));
+    let pack = nab_bench::e8_ablation::packing_ablation();
+    println!("{}", nab_bench::e8_ablation::packing_table(&pack));
+}

@@ -1,0 +1,199 @@
+//! E4 — amortization of dispute control (Section 2's `f(f+1)` bound).
+//!
+//! An adversary that forces dispute control on every instance it can
+//! (false alarms, corruptions) still triggers at most `f(f+1)` dispute
+//! rounds; afterwards every instance runs at full speed. We record the
+//! per-instance time series and the cumulative average converging to the
+//! steady state.
+
+use std::collections::BTreeSet;
+
+use nab::adversary::{FalseAlarm, LyingCorruptor, NabAdversary, TruthfulCorruptor};
+use nab::dispute::DisputeState;
+use nab::engine::{NabConfig, NabEngine};
+use nab::value::Value;
+use nab_netgraph::{gen, DiGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-instance observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstancePoint {
+    /// Instance index `k` (1-based).
+    pub k: usize,
+    /// Instance duration.
+    pub time: f64,
+    /// Whether dispute control ran.
+    pub dispute: bool,
+    /// Cumulative average time per instance after `k` instances.
+    pub running_avg: f64,
+}
+
+/// Full series for one adversary.
+#[derive(Debug, Clone)]
+pub struct AmortizationSeries {
+    /// Adversary label.
+    pub adversary: String,
+    /// The per-instance points.
+    pub points: Vec<InstancePoint>,
+    /// Total dispute rounds observed.
+    pub dispute_rounds: usize,
+    /// The paper's bound `f(f+1)`.
+    pub dispute_budget: usize,
+}
+
+/// Runs `q` instances on `g` with the given adversary.
+pub fn run_series(
+    name: &str,
+    g: &DiGraph,
+    f: usize,
+    symbols: usize,
+    q: usize,
+    faulty: &BTreeSet<usize>,
+    adv: &mut dyn NabAdversary,
+) -> AmortizationSeries {
+    let mut engine = NabEngine::new(
+        g.clone(),
+        NabConfig {
+            f,
+            symbols,
+            seed: 11,
+        },
+    )
+    .expect("valid network");
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut points = Vec::with_capacity(q);
+    let mut total = 0.0;
+    let mut disputes = 0;
+    for k in 1..=q {
+        let input = Value::random(symbols, &mut rng);
+        let rep = engine.run_instance(&input, faulty, adv).expect("instance runs");
+        total += rep.times.total();
+        disputes += usize::from(rep.dispute_ran);
+        points.push(InstancePoint {
+            k,
+            time: rep.times.total(),
+            dispute: rep.dispute_ran,
+            running_avg: total / k as f64,
+        });
+    }
+    AmortizationSeries {
+        adversary: name.to_string(),
+        points,
+        dispute_rounds: disputes,
+        dispute_budget: DisputeState::max_executions(f),
+    }
+}
+
+/// The default E4 set: three dispute-forcing adversaries on K4.
+pub fn run_default(q: usize) -> Vec<AmortizationSeries> {
+    let g = gen::complete(4, 2);
+    let faulty = BTreeSet::from([2]);
+    let mut out = Vec::new();
+    out.push(run_series(
+        "false-alarm",
+        &g,
+        1,
+        240,
+        q,
+        &faulty,
+        &mut FalseAlarm,
+    ));
+    out.push(run_series(
+        "truthful-corruptor",
+        &g,
+        1,
+        240,
+        q,
+        &faulty,
+        &mut TruthfulCorruptor,
+    ));
+    out.push(run_series(
+        "lying-corruptor",
+        &g,
+        1,
+        240,
+        q,
+        &faulty,
+        &mut LyingCorruptor,
+    ));
+    out
+}
+
+/// Formats the series as a table of (k, time, dispute) milestones.
+pub fn table(series: &[AmortizationSeries]) -> String {
+    let mut rows = Vec::new();
+    for s in series {
+        let first = s.points.first().unwrap();
+        let last = s.points.last().unwrap();
+        rows.push(vec![
+            s.adversary.clone(),
+            s.dispute_rounds.to_string(),
+            s.dispute_budget.to_string(),
+            format!("{:.1}", first.time),
+            format!("{:.1}", last.time),
+            format!("{:.1}", last.running_avg),
+        ]);
+    }
+    crate::format_table(
+        &[
+            "adversary",
+            "dispute rounds",
+            "budget f(f+1)",
+            "t(1st)",
+            "t(last)",
+            "avg t/instance",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispute_rounds_within_budget_and_steady_state_reached() {
+        for s in run_default(6) {
+            assert!(
+                s.dispute_rounds <= s.dispute_budget,
+                "{}: {} rounds > budget {}",
+                s.adversary,
+                s.dispute_rounds,
+                s.dispute_budget
+            );
+            // After the budget is spent, instances run without disputes.
+            let tail_disputes = s
+                .points
+                .iter()
+                .skip(s.dispute_budget)
+                .filter(|p| p.dispute)
+                .count();
+            assert_eq!(tail_disputes, 0, "{}: disputes after budget", s.adversary);
+            // Steady-state time is far below the first (dispute-laden)
+            // instance.
+            let first = s.points.first().unwrap().time;
+            let last = s.points.last().unwrap().time;
+            assert!(
+                last < first,
+                "{}: no speedup (first {first}, last {last})",
+                s.adversary
+            );
+        }
+    }
+
+    #[test]
+    fn running_average_is_monotone_decreasing_after_disputes_stop() {
+        for s in run_default(6) {
+            let after: Vec<f64> = s
+                .points
+                .iter()
+                .skip_while(|p| p.dispute)
+                .map(|p| p.running_avg)
+                .collect();
+            for w in after.windows(2) {
+                assert!(w[1] <= w[0] + 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! E6 — pipelining under propagation delays (Appendix D, Figure 3).
+//!
+//! Compares store-and-forward against Appendix D's hop-pipelined schedule
+//! on tree depths measured from real arborescence packings, confirming
+//! that pipelining recovers the zero-delay bound of Eq. 6.
+
+use nab::pipeline::PipelineModel;
+use nab_netgraph::arborescence::pack_arborescences;
+use nab_netgraph::flow::broadcast_rate;
+use nab_netgraph::gen;
+
+/// One depth sweep point.
+#[derive(Debug, Clone)]
+pub struct PipelineRow {
+    /// Network label.
+    pub name: String,
+    /// Deepest arborescence (hops).
+    pub depth: usize,
+    /// Instances simulated.
+    pub q: usize,
+    /// Store-and-forward throughput.
+    pub unpipelined: f64,
+    /// Pipelined throughput.
+    pub pipelined: f64,
+    /// The `Q → ∞` limit (`≈` Eq. 6 with overhead).
+    pub asymptotic: f64,
+}
+
+/// Builds a model from a real graph: measures `γ`, tree depth, and uses
+/// `ρ = γ` for a conservative equality-check rate.
+pub fn model_for(name: &str, g: &nab_netgraph::DiGraph, l_bits: f64, overhead: f64) -> PipelineModel {
+    let gamma = broadcast_rate(g, 0);
+    let trees = pack_arborescences(g, 0, gamma).expect("packing");
+    let depth = trees.iter().map(|t| t.depth()).max().unwrap_or(1);
+    let _ = name;
+    PipelineModel {
+        l_bits,
+        gamma: gamma as f64,
+        rho: gamma as f64,
+        overhead,
+        depth,
+    }
+}
+
+/// Runs the sweep over network families of growing diameter.
+pub fn run(q: usize) -> Vec<PipelineRow> {
+    let mut rows = Vec::new();
+    let nets = vec![
+        ("K4".to_string(), gen::complete(4, 1)),
+        ("K6".to_string(), gen::complete(6, 1)),
+        ("barbell 3+3".to_string(), gen::barbell(3, 2, 2, 1)),
+        ("ring 8".to_string(), gen::ring(8, 2)),
+    ];
+    for (name, g) in nets {
+        let m = model_for(&name, &g, 4096.0, 32.0);
+        rows.push(PipelineRow {
+            name,
+            depth: m.depth,
+            q,
+            unpipelined: m.unpipelined_throughput(q),
+            pipelined: m.pipelined_throughput(q),
+            asymptotic: m.asymptotic_throughput(),
+        });
+    }
+    rows
+}
+
+/// Formats the sweep.
+pub fn table(rows: &[PipelineRow]) -> String {
+    crate::format_table(
+        &["network", "depth", "Q", "store&fwd T", "pipelined T", "Q→∞ limit"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.depth.to_string(),
+                    r.q.to_string(),
+                    format!("{:.1}", r.unpipelined),
+                    format!("{:.1}", r.pipelined),
+                    format!("{:.1}", r.asymptotic),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelining_never_loses_and_wins_on_deep_graphs() {
+        let rows = run(200);
+        for r in &rows {
+            assert!(
+                r.pipelined >= r.unpipelined * 0.999,
+                "{}: pipelined {} < unpipelined {}",
+                r.name,
+                r.pipelined,
+                r.unpipelined
+            );
+            assert!(r.pipelined <= r.asymptotic);
+        }
+        // The ring has real depth; pipelining must win clearly there.
+        let ring = rows.iter().find(|r| r.name == "ring 8").unwrap();
+        assert!(ring.depth >= 3);
+        assert!(ring.pipelined > ring.unpipelined * 1.5);
+    }
+}

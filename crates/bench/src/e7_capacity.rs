@@ -1,0 +1,125 @@
+//! E7 — the capacity table: Theorem 2's upper bound vs Eq. 6's lower
+//! bound across the network suite, verifying Theorem 3's 1/3 (and
+//! conditional 1/2) guarantees.
+
+use nab::bounds::{bounds_report, BoundsReport};
+use nab_netgraph::{gen, DiGraph};
+
+/// One network's bound structure.
+#[derive(Debug, Clone)]
+pub struct CapacityRow {
+    /// Network label.
+    pub name: String,
+    /// The full bounds report.
+    pub report: BoundsReport,
+    /// Whether the `γ* ≤ ρ*` side-condition for the 1/2 guarantee holds.
+    pub half_condition: bool,
+}
+
+/// The networks tabulated (paper examples + families).
+pub fn networks() -> Vec<(String, DiGraph, usize)> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(13);
+    vec![
+        ("Figure 1(a)".into(), gen::figure_1a(), 1),
+        ("Figure 2(a)".into(), gen::figure_2a(), 1),
+        ("K4 ×1".into(), gen::complete(4, 1), 1),
+        ("K4 ×3".into(), gen::complete(4, 3), 1),
+        ("K5 ×2".into(), gen::complete(5, 2), 1),
+        ("K5 hetero".into(), gen::complete_heterogeneous(5, 1, 6, &mut rng), 1),
+        ("K7 ×1 f=2".into(), gen::complete(7, 1), 2),
+        ("barbell".into(), gen::barbell(2, 4, 2, 2), 1),
+    ]
+}
+
+/// Computes the table rows (skipping networks whose `U_1 < 2`).
+pub fn run() -> Vec<CapacityRow> {
+    let mut rows = Vec::new();
+    for (name, g, f) in networks() {
+        if let Some(report) = bounds_report(&g, 0, f, 1 << 18) {
+            let half = report.gamma_star.value <= report.rho_star;
+            rows.push(CapacityRow {
+                name,
+                report,
+                half_condition: half,
+            });
+        }
+    }
+    rows
+}
+
+/// Formats the capacity table.
+pub fn table(rows: &[CapacityRow]) -> String {
+    crate::format_table(
+        &[
+            "network",
+            "γ1",
+            "γ*",
+            "U1",
+            "ρ*",
+            "Eq.6 lower",
+            "Thm2 upper",
+            "fraction",
+            "guarantee",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.report.gamma1.to_string(),
+                    format!(
+                        "{}{}",
+                        r.report.gamma_star.value,
+                        if r.report.gamma_star.exact { "" } else { "≤" }
+                    ),
+                    r.report.u1.to_string(),
+                    r.report.rho_star.to_string(),
+                    format!("{:.2}", r.report.tnab_lower),
+                    r.report.capacity_upper.to_string(),
+                    format!("{:.3}", r.report.guaranteed_fraction),
+                    if r.half_condition { "1/2" } else { "1/3" }.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem3_holds_on_every_network() {
+        let rows = run();
+        assert!(rows.len() >= 6, "most networks should tabulate");
+        for r in &rows {
+            assert!(
+                r.report.guaranteed_fraction >= 1.0 / 3.0 - 1e-9,
+                "{}: fraction {} < 1/3",
+                r.name,
+                r.report.guaranteed_fraction
+            );
+            if r.half_condition {
+                assert!(
+                    r.report.guaranteed_fraction >= 0.5 - 1e-9,
+                    "{}: fraction {} < 1/2 with γ*≤ρ*",
+                    r.name,
+                    r.report.guaranteed_fraction
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lower_bound_never_exceeds_upper() {
+        for r in run() {
+            assert!(
+                r.report.tnab_lower <= r.report.capacity_upper as f64 + 1e-9,
+                "{}",
+                r.name
+            );
+        }
+    }
+}

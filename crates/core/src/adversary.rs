@@ -1,0 +1,354 @@
+//! Byzantine strategies for NAB simulations.
+//!
+//! The failure model (Section 1): up to `f` nodes are controlled by an
+//! adversary with full knowledge of the topology, the algorithm (including
+//! the coding matrices), and the source's input. A [`NabAdversary`]
+//! receives a hook at every point where a faulty node chooses what to
+//! transmit; the default implementations follow the protocol, so a
+//! strategy overrides only the hooks it attacks.
+//!
+//! Within the classic-BB sub-protocol (flag and claim broadcasts) faulty
+//! nodes may lie about their *own* inputs through the [`NabAdversary::flag`]
+//! and [`NabAdversary::claims`] hooks; equivocation *inside* EIG relaying
+//! is exercised separately by the `nab-bb` crate's tests (EIG tolerates it
+//! by construction, so it cannot affect NAB's outcome).
+
+use nab_gf::field::Field;
+use nab_gf::Gf2_16;
+use nab_netgraph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dispute::NodeClaims;
+
+/// Decision points for a faulty node during one NAB instance.
+pub trait NabAdversary {
+    /// Block the faulty *source* sends to `child` on arborescence `tree`
+    /// (equivocation hook).
+    fn phase1_source_block(
+        &mut self,
+        tree: usize,
+        child: NodeId,
+        honest: &[Gf2_16],
+    ) -> Vec<Gf2_16> {
+        let _ = (tree, child);
+        honest.to_vec()
+    }
+
+    /// Block a faulty relay forwards to `child` on `tree` after receiving
+    /// `honest`.
+    fn phase1_forward(
+        &mut self,
+        node: NodeId,
+        tree: usize,
+        child: NodeId,
+        honest: &[Gf2_16],
+    ) -> Vec<Gf2_16> {
+        let _ = (node, tree, child);
+        honest.to_vec()
+    }
+
+    /// Coded symbols a faulty node puts on edge `(src, dst)` during the
+    /// equality check.
+    fn equality_symbols(&mut self, src: NodeId, dst: NodeId, honest: &[Gf2_16]) -> Vec<Gf2_16> {
+        let _ = (src, dst);
+        honest.to_vec()
+    }
+
+    /// The 1-bit flag a faulty node announces in step 2.2.
+    fn flag(&mut self, node: NodeId, honest: bool) -> bool {
+        let _ = node;
+        honest
+    }
+
+    /// The claims a faulty node broadcasts during dispute control.
+    fn claims(&mut self, node: NodeId, honest: &NodeClaims) -> NodeClaims {
+        let _ = node;
+        honest.clone()
+    }
+}
+
+/// Faulty nodes follow the protocol exactly (baseline for fault-free runs
+/// and for "crash-like" faulty sets).
+#[derive(Debug, Clone, Default)]
+pub struct HonestStrategy;
+
+impl NabAdversary for HonestStrategy {}
+
+/// Corrupts the first symbol of every block it forwards in Phase 1, then
+/// *tells the truth* during dispute control — the DC3 determinism check
+/// exposes it directly.
+#[derive(Debug, Clone, Default)]
+pub struct TruthfulCorruptor;
+
+impl NabAdversary for TruthfulCorruptor {
+    fn phase1_forward(
+        &mut self,
+        _: NodeId,
+        _: usize,
+        _: NodeId,
+        honest: &[Gf2_16],
+    ) -> Vec<Gf2_16> {
+        corrupt_first(honest)
+    }
+}
+
+/// Corrupts Phase-1 forwards and then *lies* in dispute control, claiming
+/// it forwarded faithfully — DC2 then pins it in a dispute pair with the
+/// downstream receiver.
+#[derive(Debug, Clone, Default)]
+pub struct LyingCorruptor;
+
+impl NabAdversary for LyingCorruptor {
+    fn phase1_forward(
+        &mut self,
+        _: NodeId,
+        _: usize,
+        _: NodeId,
+        honest: &[Gf2_16],
+    ) -> Vec<Gf2_16> {
+        corrupt_first(honest)
+    }
+
+    fn claims(&mut self, _: NodeId, honest: &NodeClaims) -> NodeClaims {
+        // Claim the prescribed (uncorrupted) forwards: sends = receives.
+        let mut c = honest.clone();
+        for ((tree, _), block) in honest.p1_received.clone() {
+            for (key, sent) in c.p1_sent.iter_mut() {
+                if key.0 == tree {
+                    *sent = block.clone();
+                }
+            }
+        }
+        c
+    }
+}
+
+/// A faulty *source* that sends different inputs down different
+/// arborescences (splits the fault-free nodes' views).
+#[derive(Debug, Clone, Default)]
+pub struct EquivocatingSource;
+
+impl NabAdversary for EquivocatingSource {
+    fn phase1_source_block(
+        &mut self,
+        tree: usize,
+        _child: NodeId,
+        honest: &[Gf2_16],
+    ) -> Vec<Gf2_16> {
+        if tree == 0 {
+            corrupt_first(honest)
+        } else {
+            honest.to_vec()
+        }
+    }
+}
+
+/// Announces MISMATCH even when everything checked out, forcing pointless
+/// dispute-control rounds — the amortization attack the `f(f+1)` bound
+/// caps.
+#[derive(Debug, Clone, Default)]
+pub struct FalseAlarm;
+
+impl NabAdversary for FalseAlarm {
+    fn flag(&mut self, _: NodeId, _: bool) -> bool {
+        true
+    }
+}
+
+/// Sends garbage coded symbols in the equality check while Phase 1 ran
+/// clean — detected as misbehavior in Phase 2 per Section 3's second
+/// consequence.
+#[derive(Debug, Clone, Default)]
+pub struct EqualityGarbler;
+
+impl NabAdversary for EqualityGarbler {
+    fn equality_symbols(&mut self, _: NodeId, _: NodeId, honest: &[Gf2_16]) -> Vec<Gf2_16> {
+        corrupt_first(honest)
+    }
+}
+
+/// Randomized adversary: each hook corrupts with probability `p`.
+#[derive(Debug, Clone)]
+pub struct RandomStrategy {
+    rng: StdRng,
+    /// Per-hook corruption probability.
+    pub p: f64,
+}
+
+impl RandomStrategy {
+    /// Creates a randomized strategy with corruption probability `p`.
+    pub fn new(seed: u64, p: f64) -> Self {
+        RandomStrategy {
+            rng: StdRng::seed_from_u64(seed),
+            p,
+        }
+    }
+
+    fn maybe_corrupt(&mut self, honest: &[Gf2_16]) -> Vec<Gf2_16> {
+        if self.rng.gen_bool(self.p) && !honest.is_empty() {
+            let idx = self.rng.gen_range(0..honest.len());
+            let mut out = honest.to_vec();
+            out[idx] = out[idx].add(Gf2_16::from_u64(self.rng.gen_range(1..=0xFFFF)));
+            out
+        } else {
+            honest.to_vec()
+        }
+    }
+}
+
+impl NabAdversary for RandomStrategy {
+    fn phase1_source_block(&mut self, _: usize, _: NodeId, honest: &[Gf2_16]) -> Vec<Gf2_16> {
+        self.maybe_corrupt(honest)
+    }
+
+    fn phase1_forward(&mut self, _: NodeId, _: usize, _: NodeId, honest: &[Gf2_16]) -> Vec<Gf2_16> {
+        self.maybe_corrupt(honest)
+    }
+
+    fn equality_symbols(&mut self, _: NodeId, _: NodeId, honest: &[Gf2_16]) -> Vec<Gf2_16> {
+        self.maybe_corrupt(honest)
+    }
+
+    fn flag(&mut self, _: NodeId, honest: bool) -> bool {
+        if self.rng.gen_bool(self.p) {
+            !honest
+        } else {
+            honest
+        }
+    }
+}
+
+/// A *colluding framing* strategy for two faulty nodes: the first corrupts
+/// Phase-1 blocks, and during dispute control **both** lie in a coordinated
+/// way designed to implicate an innocent third node `scapegoat` — each
+/// claims to have received corrupted data from it.
+///
+/// Dispute control is sound against this: claims about traffic *between
+/// two fault-free nodes* always cross-check (links are reliable and honest
+/// claims are truthful), so the fabricated receive-claims only create
+/// disputes between the liars and the scapegoat — pairs that genuinely
+/// contain a faulty endpoint — and can never get the scapegoat *removed*
+/// (it is not in every explanation). The engine tests assert exactly this.
+#[derive(Debug, Clone)]
+pub struct FramingCollusion {
+    /// The fault-free node the colluders try to frame.
+    pub scapegoat: NodeId,
+    /// Which faulty node corrupts Phase 1 (the other only lies in claims).
+    pub corruptor: NodeId,
+}
+
+impl NabAdversary for FramingCollusion {
+    fn phase1_forward(
+        &mut self,
+        node: NodeId,
+        _: usize,
+        _: NodeId,
+        honest: &[Gf2_16],
+    ) -> Vec<Gf2_16> {
+        if node == self.corruptor {
+            corrupt_first(honest)
+        } else {
+            honest.to_vec()
+        }
+    }
+
+    fn claims(&mut self, _: NodeId, honest: &NodeClaims) -> NodeClaims {
+        let mut c = honest.clone();
+        // Fabricate: "the scapegoat sent me garbage" — alter every
+        // receive-claim attributed to the scapegoat.
+        for ((_, from), block) in c.p1_received.iter_mut() {
+            if *from == self.scapegoat {
+                *block = corrupt_first(block);
+            }
+        }
+        if let Some(sym) = c.eq_received.get_mut(&self.scapegoat) {
+            *sym = corrupt_first(sym);
+        }
+        // And hide the corruptor's own misdeed: claim prescribed forwards.
+        for ((tree, _), block) in honest.p1_received.clone() {
+            for (key, sent) in c.p1_sent.iter_mut() {
+                if key.0 == tree {
+                    *sent = block.clone();
+                }
+            }
+        }
+        c
+    }
+}
+
+/// Flips the first symbol (or appends one to an empty block).
+fn corrupt_first(honest: &[Gf2_16]) -> Vec<Gf2_16> {
+    let mut out = honest.to_vec();
+    if let Some(first) = out.first_mut() {
+        *first = first.add(Gf2_16::ONE);
+    } else {
+        out.push(Gf2_16::ONE);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_strategy_is_identity() {
+        let mut s = HonestStrategy;
+        let block = vec![Gf2_16(3), Gf2_16(4)];
+        assert_eq!(s.phase1_forward(1, 0, 2, &block), block);
+        assert_eq!(s.equality_symbols(1, 2, &block), block);
+        assert!(!s.flag(1, false));
+        assert!(s.flag(1, true));
+    }
+
+    #[test]
+    fn corruptors_change_blocks() {
+        let block = vec![Gf2_16(3), Gf2_16(4)];
+        assert_ne!(TruthfulCorruptor.phase1_forward(1, 0, 2, &block), block);
+        assert_ne!(LyingCorruptor.phase1_forward(1, 0, 2, &block), block);
+        assert_ne!(EqualityGarbler.equality_symbols(1, 2, &block), block);
+    }
+
+    #[test]
+    fn equivocating_source_splits_trees() {
+        let mut s = EquivocatingSource;
+        let block = vec![Gf2_16(7)];
+        assert_ne!(s.phase1_source_block(0, 1, &block), block);
+        assert_eq!(s.phase1_source_block(1, 1, &block), block);
+    }
+
+    #[test]
+    fn false_alarm_always_mismatches() {
+        let mut s = FalseAlarm;
+        assert!(s.flag(3, false));
+    }
+
+    #[test]
+    fn lying_corruptor_claims_faithful_forwarding() {
+        let mut s = LyingCorruptor;
+        let mut honest = NodeClaims::default();
+        honest.p1_received.insert((0, 0), vec![Gf2_16(9)]);
+        honest
+            .p1_sent
+            .insert((0, 2), vec![Gf2_16(10)]); // actually corrupted
+        let lied = s.claims(1, &honest);
+        assert_eq!(lied.p1_sent[&(0, 2)], vec![Gf2_16(9)], "claims the clean block");
+    }
+
+    #[test]
+    fn random_strategy_with_p1_always_corrupts() {
+        let mut s = RandomStrategy::new(1, 1.0);
+        let block = vec![Gf2_16(5), Gf2_16(6)];
+        assert_ne!(s.phase1_forward(0, 0, 1, &block), block);
+        assert!(s.flag(0, false));
+    }
+
+    #[test]
+    fn random_strategy_with_p0_is_honest() {
+        let mut s = RandomStrategy::new(1, 0.0);
+        let block = vec![Gf2_16(5)];
+        assert_eq!(s.phase1_forward(0, 0, 1, &block), block);
+        assert!(!s.flag(0, false));
+    }
+}

@@ -1,0 +1,731 @@
+//! The NAB engine: orchestrates Phases 1–3 across repeated instances,
+//! evolving `G_k` through dispute control (Section 2).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nab_bb::baselines::RoutedChannel;
+use nab_bb::router::{PathRouter, Routed};
+use nab_netgraph::arborescence::pack_arborescences;
+use nab_netgraph::connectivity::supports_byzantine_broadcast;
+use nab_netgraph::{DiGraph, NodeId};
+use nab_sim::NetSim;
+
+use crate::adversary::NabAdversary;
+use crate::bounds::{gamma_k, rho_k, Pair};
+use crate::dispute::{dc2_disputes, dc3_exposed, DisputeState, NodeClaims};
+use crate::equality::CodingScheme;
+use crate::phase1::run_phase1;
+use crate::phase2::{
+    broadcast_value, honest_claims, run_equality_phase, run_flag_broadcast, BroadcastKind,
+};
+use crate::value::Value;
+
+/// The broadcast source — the paper's "node 1" is node 0 here.
+pub const SOURCE: NodeId = 0;
+
+/// Static configuration of a NAB deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NabConfig {
+    /// Upper bound on the number of faulty nodes over the system lifetime.
+    pub f: usize,
+    /// Input size per instance in 16-bit symbols (`L = 16 · symbols`).
+    pub symbols: usize,
+    /// Seed for the per-instance coding matrices (public, part of the
+    /// algorithm specification).
+    pub seed: u64,
+}
+
+/// Errors detectable at setup or between instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NabError {
+    /// Fewer than `3f + 1` nodes.
+    TooManyFaults {
+        /// Nodes in the network.
+        n: usize,
+        /// Configured fault bound.
+        f: usize,
+    },
+    /// Vertex connectivity below `2f + 1`.
+    InsufficientConnectivity,
+    /// `U_k < 2`: no integer equality-check parameter exists.
+    NoEqualityParameter,
+    /// Input has the wrong number of symbols.
+    WrongInputSize {
+        /// Expected symbol count.
+        expect: usize,
+        /// Provided symbol count.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for NabError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NabError::TooManyFaults { n, f: ff } => {
+                write!(f, "need n ≥ 3f+1: n={n}, f={ff}")
+            }
+            NabError::InsufficientConnectivity => {
+                write!(f, "network connectivity below 2f+1")
+            }
+            NabError::NoEqualityParameter => {
+                write!(f, "U_k < 2: equality check has no valid ρ")
+            }
+            NabError::WrongInputSize { expect, got } => {
+                write!(f, "input must have {expect} symbols, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NabError {}
+
+/// Per-phase wall-clock breakdown of one instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Phase 1 unreliable broadcast (`≈ L/γ_k`).
+    pub phase1: f64,
+    /// Equality check (`≈ L/ρ_k`).
+    pub equality: f64,
+    /// Flag broadcasts (the `O(n^α)` term).
+    pub flags: f64,
+    /// Dispute control (0 when not triggered).
+    pub dispute: f64,
+}
+
+impl PhaseTimes {
+    /// Total instance time.
+    pub fn total(&self) -> f64 {
+        self.phase1 + self.equality + self.flags + self.dispute
+    }
+}
+
+/// Everything observable about one NAB instance.
+#[derive(Debug, Clone)]
+pub struct InstanceReport {
+    /// Output value decided by each *fault-free* node (faulty nodes'
+    /// entries are present but meaningless).
+    pub outputs: BTreeMap<NodeId, Value>,
+    /// Wall-clock breakdown.
+    pub times: PhaseTimes,
+    /// `γ_k` used for Phase 1.
+    pub gamma_k: u64,
+    /// `ρ_k` used for the equality check.
+    pub rho_k: u64,
+    /// Whether any agreed flag was MISMATCH.
+    pub mismatch_detected: bool,
+    /// Whether dispute control executed.
+    pub dispute_ran: bool,
+    /// New dispute pairs found this instance.
+    pub new_pairs: Vec<Pair>,
+    /// Nodes newly excluded as faulty.
+    pub newly_removed: Vec<NodeId>,
+    /// Whether the fast path (source known faulty → default output) ran.
+    pub defaulted: bool,
+}
+
+/// The NAB protocol engine.
+///
+/// Create one engine per deployment and call
+/// [`NabEngine::run_instance`] repeatedly; dispute state carries across
+/// instances exactly as the paper's `G_k` evolution prescribes.
+#[derive(Debug, Clone)]
+pub struct NabEngine {
+    g0: DiGraph,
+    cfg: NabConfig,
+    disputes: DisputeState,
+    router: PathRouter,
+    instance: usize,
+    broadcast: BroadcastKind,
+}
+
+impl NabEngine {
+    /// Validates the network against the paper's conditions (`n ≥ 3f+1`,
+    /// connectivity `≥ 2f+1`, `U_1 ≥ 2`) and builds the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated condition.
+    pub fn new(g: DiGraph, cfg: NabConfig) -> Result<Self, NabError> {
+        let n = g.active_count();
+        if n < 3 * cfg.f + 1 {
+            return Err(NabError::TooManyFaults { n, f: cfg.f });
+        }
+        if !supports_byzantine_broadcast(&g, cfg.f) {
+            return Err(NabError::InsufficientConnectivity);
+        }
+        let router =
+            PathRouter::build(&g, cfg.f).ok_or(NabError::InsufficientConnectivity)?;
+        if rho_k(&g, cfg.f, &BTreeSet::new()).is_none() {
+            return Err(NabError::NoEqualityParameter);
+        }
+        Ok(NabEngine {
+            g0: g,
+            cfg,
+            disputes: DisputeState::new(),
+            router,
+            instance: 0,
+            broadcast: BroadcastKind::default(),
+        })
+    }
+
+    /// The original network.
+    pub fn original_graph(&self) -> &DiGraph {
+        &self.g0
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NabConfig {
+        &self.cfg
+    }
+
+    /// Selects the classic-BB primitive used for flag and claim broadcasts
+    /// (default: EIG; Phase-King needs `n > 4f` and falls back to EIG
+    /// otherwise).
+    pub fn set_broadcast_kind(&mut self, kind: BroadcastKind) {
+        self.broadcast = kind;
+    }
+
+    /// The configured `Broadcast_Default`.
+    pub fn broadcast_kind(&self) -> BroadcastKind {
+        self.broadcast
+    }
+
+    /// The current `G_k` after all disputes so far.
+    pub fn current_graph(&self) -> DiGraph {
+        self.disputes.current_graph(&self.g0)
+    }
+
+    /// Accumulated dispute state.
+    pub fn disputes(&self) -> &DisputeState {
+        &self.disputes
+    }
+
+    /// Number of instances run.
+    pub fn instances_run(&self) -> usize {
+        self.instance
+    }
+
+    /// Residual fault budget among non-excluded nodes (excluded nodes are
+    /// guaranteed faulty).
+    pub fn residual_f(&self) -> usize {
+        self.cfg.f.saturating_sub(self.disputes.removed.len())
+    }
+
+    /// Runs one NAB instance.
+    ///
+    /// `faulty` is the ground-truth faulty set (fixed across instances per
+    /// the fault model; must have at most `f` members); `adv` chooses the
+    /// faulty nodes' behavior.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NabError::WrongInputSize`] on a bad input, or
+    /// [`NabError::NoEqualityParameter`] if dispute evolution drove
+    /// `U_k` below 2 (cannot happen on networks meeting the paper's
+    /// assumptions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faulty` has more than `f` members.
+    pub fn run_instance(
+        &mut self,
+        input: &Value,
+        faulty: &BTreeSet<NodeId>,
+        adv: &mut dyn NabAdversary,
+    ) -> Result<InstanceReport, NabError> {
+        assert!(
+            faulty.len() <= self.cfg.f,
+            "faulty set exceeds configured f"
+        );
+        if input.len() != self.cfg.symbols {
+            return Err(NabError::WrongInputSize {
+                expect: self.cfg.symbols,
+                got: input.len(),
+            });
+        }
+        self.instance += 1;
+        let gk = self.current_graph();
+
+        // Special case 1: the source is known faulty — agree on default.
+        if !gk.is_active(SOURCE) {
+            let outputs = gk
+                .nodes()
+                .map(|v| (v, Value::zeros(self.cfg.symbols)))
+                .collect();
+            return Ok(InstanceReport {
+                outputs,
+                times: PhaseTimes::default(),
+                gamma_k: 0,
+                rho_k: 0,
+                mismatch_detected: false,
+                dispute_ran: false,
+                new_pairs: Vec::new(),
+                newly_removed: Vec::new(),
+                defaulted: true,
+            });
+        }
+
+        let gamma = gamma_k(&gk, SOURCE);
+        let trees = pack_arborescences(&gk, SOURCE, gamma)
+            .expect("Edmonds packing exists at rate γ_k");
+
+        // Phase 1.
+        let p1 = run_phase1(&gk, SOURCE, input, &trees, faulty, adv);
+        let mut times = PhaseTimes {
+            phase1: p1.duration,
+            ..PhaseTimes::default()
+        };
+
+        // Special case 2: at least f nodes excluded → everyone left is
+        // fault-free; Phase 1 alone is reliable.
+        if self.disputes.removed.len() >= self.cfg.f {
+            return Ok(InstanceReport {
+                outputs: p1.values,
+                times,
+                gamma_k: gamma,
+                rho_k: 0,
+                mismatch_detected: false,
+                dispute_ran: false,
+                new_pairs: Vec::new(),
+                newly_removed: Vec::new(),
+                defaulted: false,
+            });
+        }
+
+        // Phase 2: equality check + flag broadcast.
+        let rho = rho_k(&gk, self.cfg.f, &self.disputes.pairs)
+            .ok_or(NabError::NoEqualityParameter)?;
+        let scheme = CodingScheme::random(
+            &gk,
+            rho as usize,
+            self.cfg.seed.wrapping_add(self.instance as u64),
+        );
+        let eq = run_equality_phase(&gk, &p1.values, &scheme, faulty, adv);
+        times.equality = eq.duration;
+
+        let participants: Vec<NodeId> = gk.nodes().collect();
+        let f_res = self.residual_f();
+        let flags = run_flag_broadcast(
+            &self.g0,
+            &self.router,
+            &participants,
+            f_res,
+            &eq.flags,
+            faulty,
+            adv,
+            self.broadcast,
+        );
+        times.flags = flags.duration;
+
+        // All fault-free nodes see the same set of agreed flags; evaluate
+        // at an arbitrary fault-free participant.
+        let observer = *participants
+            .iter()
+            .find(|v| !faulty.contains(v))
+            .expect("at least one fault-free node");
+        let mismatch = flags.any_mismatch(observer);
+
+        if !mismatch {
+            return Ok(InstanceReport {
+                outputs: p1.values,
+                times,
+                gamma_k: gamma,
+                rho_k: rho,
+                mismatch_detected: false,
+                dispute_ran: false,
+                new_pairs: Vec::new(),
+                newly_removed: Vec::new(),
+                defaulted: false,
+            });
+        }
+
+        // Phase 3: dispute control.
+        let truthful = honest_claims(
+            &gk,
+            SOURCE,
+            input,
+            &trees,
+            &scheme,
+            &p1,
+            &eq,
+            &flags.announced,
+        );
+        let mut broadcast_claims: BTreeMap<NodeId, NodeClaims> = BTreeMap::new();
+        for (&v, honest) in &truthful {
+            let c = if faulty.contains(&v) {
+                adv.claims(v, honest)
+            } else {
+                honest.clone()
+            };
+            broadcast_claims.insert(v, c);
+        }
+
+        // Broadcast every node's claims with the classic BB protocol and
+        // charge the (large) communication time.
+        let mut net: NetSim<Routed<NodeClaims>> = NetSim::new(self.g0.clone());
+        net.set_record_transcript(false);
+        let mut agreed_claims: BTreeMap<NodeId, NodeClaims> = BTreeMap::new();
+        for &b in &participants {
+            let dec = {
+                let mut chan = RoutedChannel {
+                    net: &mut net,
+                    router: &self.router,
+                    faulty,
+                };
+                broadcast_value(
+                    self.broadcast,
+                    &participants,
+                    b,
+                    f_res,
+                    broadcast_claims[&b].clone(),
+                    faulty,
+                    &mut chan,
+                    broadcast_claims[&b].bits(),
+                )
+            };
+            // All fault-free nodes agree; record the observer's copy.
+            agreed_claims.insert(b, dec[&observer].clone());
+        }
+        times.dispute = net.clock();
+
+        // DC2 + DC3 on the agreed claims.
+        let new_pairs = dc2_disputes(&agreed_claims);
+        let exposed = dc3_exposed(&gk, SOURCE, &trees, &scheme, &agreed_claims);
+        let newly_removed =
+            self.disputes
+                .integrate(&self.g0, self.cfg.f, &new_pairs, &exposed);
+
+        // Instance output: the source's broadcast input claim (agreement is
+        // inherited from the claim broadcast; validity because a fault-free
+        // source claims its true input).
+        let decided = agreed_claims
+            .get(&SOURCE)
+            .and_then(|c| c.input.clone())
+            .map(Value::from_symbols)
+            .unwrap_or_else(|| Value::zeros(self.cfg.symbols));
+        let outputs = participants.iter().map(|&v| (v, decided.clone())).collect();
+
+        Ok(InstanceReport {
+            outputs,
+            times,
+            gamma_k: gamma,
+            rho_k: rho,
+            mismatch_detected: true,
+            dispute_ran: true,
+            new_pairs,
+            newly_removed,
+            defaulted: false,
+        })
+    }
+}
+
+/// Summary of a multi-instance run (the throughput experiment quantum).
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Instances executed.
+    pub instances: usize,
+    /// Total simulated time.
+    pub total_time: f64,
+    /// Total payload bits broadcast (`L · Q`).
+    pub total_bits: u64,
+    /// Dispute-control executions observed.
+    pub dispute_rounds: usize,
+    /// `total_bits / total_time`.
+    pub throughput: f64,
+    /// Every fault-free node agreed with the source's input in every
+    /// instance (validity + agreement).
+    pub all_correct: bool,
+}
+
+/// Runs `q` instances with fresh random inputs and returns the aggregate
+/// throughput report. Inputs are generated from `seed`.
+pub fn run_many(
+    engine: &mut NabEngine,
+    q: usize,
+    faulty: &BTreeSet<NodeId>,
+    adv: &mut dyn NabAdversary,
+    seed: u64,
+) -> Result<RunSummary, NabError> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let symbols = engine.config().symbols;
+    let mut total_time = 0.0;
+    let mut dispute_rounds = 0;
+    let mut all_correct = true;
+
+    for _ in 0..q {
+        let input = Value::random(symbols, &mut rng);
+        let rep = engine.run_instance(&input, faulty, adv)?;
+        total_time += rep.times.total();
+        dispute_rounds += usize::from(rep.dispute_ran);
+        let source_ok = !faulty.contains(&SOURCE);
+        for (&v, out) in &rep.outputs {
+            if faulty.contains(&v) {
+                continue;
+            }
+            if source_ok && !rep.defaulted && *out != input {
+                all_correct = false;
+            }
+        }
+        // Agreement among fault-free nodes.
+        let honest_outputs: Vec<&Value> = rep
+            .outputs
+            .iter()
+            .filter(|(v, _)| !faulty.contains(v))
+            .map(|(_, o)| o)
+            .collect();
+        if honest_outputs.windows(2).any(|w| w[0] != w[1]) {
+            all_correct = false;
+        }
+    }
+
+    let total_bits = (q * symbols) as u64 * crate::value::SYMBOL_BITS;
+    Ok(RunSummary {
+        instances: q,
+        total_time,
+        total_bits,
+        dispute_rounds,
+        throughput: if total_time > 0.0 {
+            total_bits as f64 / total_time
+        } else {
+            0.0
+        },
+        all_correct,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{
+        EquivocatingSource, FalseAlarm, HonestStrategy, LyingCorruptor, TruthfulCorruptor,
+    };
+    use nab_netgraph::gen;
+
+    fn engine(symbols: usize) -> NabEngine {
+        NabEngine::new(
+            gen::complete(4, 2),
+            NabConfig {
+                f: 1,
+                symbols,
+                seed: 42,
+            },
+        )
+        .unwrap()
+    }
+
+    fn input(symbols: usize) -> Value {
+        Value::from_u64s(&(0..symbols as u64).map(|i| i * 7 + 1).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn fault_free_instance_is_fast_path() {
+        let mut e = engine(12);
+        let x = input(12);
+        let rep = e
+            .run_instance(&x, &BTreeSet::new(), &mut HonestStrategy)
+            .unwrap();
+        assert!(!rep.mismatch_detected);
+        assert!(!rep.dispute_ran);
+        for v in rep.outputs.values() {
+            assert_eq!(*v, x);
+        }
+        assert!(rep.times.phase1 > 0.0);
+        assert!(rep.times.equality > 0.0);
+        assert!(rep.times.flags > 0.0);
+        assert_eq!(rep.times.dispute, 0.0);
+    }
+
+    #[test]
+    fn setup_rejects_bad_networks() {
+        let cfg = NabConfig {
+            f: 1,
+            symbols: 4,
+            seed: 0,
+        };
+        // Too few nodes for f=1.
+        assert!(matches!(
+            NabEngine::new(gen::complete(3, 1), cfg),
+            Err(NabError::TooManyFaults { .. })
+        ));
+        // A ring is 2-connected at best — not enough for 2f+1=3.
+        assert!(matches!(
+            NabEngine::new(gen::ring(5, 1), cfg),
+            Err(NabError::InsufficientConnectivity)
+        ));
+    }
+
+    #[test]
+    fn wrong_input_size_rejected() {
+        let mut e = engine(12);
+        let bad = input(5);
+        assert!(matches!(
+            e.run_instance(&bad, &BTreeSet::new(), &mut HonestStrategy),
+            Err(NabError::WrongInputSize { expect: 12, got: 5 })
+        ));
+    }
+
+    #[test]
+    fn corrupting_relay_triggers_dispute_and_correct_output() {
+        let mut e = engine(12);
+        let x = input(12);
+        let faulty = BTreeSet::from([2]);
+        let rep = e.run_instance(&x, &faulty, &mut TruthfulCorruptor).unwrap();
+        assert!(rep.mismatch_detected);
+        assert!(rep.dispute_ran);
+        // Validity: fault-free nodes still output the source's input.
+        for (&v, out) in &rep.outputs {
+            if !faulty.contains(&v) {
+                assert_eq!(*out, x, "node {v}");
+            }
+        }
+        // The truthful corruptor exposes itself via DC3.
+        assert_eq!(rep.newly_removed, vec![2]);
+    }
+
+    #[test]
+    fn lying_relay_lands_in_dispute_pair() {
+        let mut e = engine(12);
+        let x = input(12);
+        let faulty = BTreeSet::from([2]);
+        let rep = e.run_instance(&x, &faulty, &mut LyingCorruptor).unwrap();
+        assert!(rep.dispute_ran);
+        assert!(
+            rep.new_pairs.iter().any(|&(a, b)| a == 2 || b == 2),
+            "the liar must appear in a dispute pair: {:?}",
+            rep.new_pairs
+        );
+        for (&v, out) in &rep.outputs {
+            if !faulty.contains(&v) {
+                assert_eq!(*out, x);
+            }
+        }
+    }
+
+    #[test]
+    fn equivocating_source_still_reaches_agreement() {
+        let mut e = engine(12);
+        let x = input(12);
+        let faulty = BTreeSet::from([0]);
+        let rep = e
+            .run_instance(&x, &faulty, &mut EquivocatingSource)
+            .unwrap();
+        assert!(rep.mismatch_detected, "equality check must catch the split");
+        // Agreement among fault-free nodes (validity not required: source
+        // is faulty).
+        let honest: Vec<&Value> = rep
+            .outputs
+            .iter()
+            .filter(|(v, _)| !faulty.contains(v))
+            .map(|(_, o)| o)
+            .collect();
+        assert!(honest.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn false_alarm_wastes_a_dispute_round_then_stops() {
+        let mut e = engine(12);
+        let x = input(12);
+        let faulty = BTreeSet::from([3]);
+        let mut adv = FalseAlarm;
+        let rep1 = e.run_instance(&x, &faulty, &mut adv).unwrap();
+        assert!(rep1.dispute_ran);
+        // DC3 exposes the false-alarmist (its claims show clean receives
+        // yet it announced MISMATCH).
+        assert_eq!(rep1.newly_removed, vec![3]);
+        // Next instance: f nodes removed → fast path, no equality check.
+        let rep2 = e.run_instance(&x, &faulty, &mut adv).unwrap();
+        assert!(!rep2.dispute_ran);
+        for (&v, out) in &rep2.outputs {
+            if !faulty.contains(&v) {
+                assert_eq!(*out, x);
+            }
+        }
+    }
+
+    #[test]
+    fn phase_king_broadcast_kind_end_to_end() {
+        // K5 has n = 5 > 4f = 4, so Phase-King is usable as
+        // Broadcast_Default; the full adversarial round-trip must behave
+        // identically to EIG.
+        let mut e = NabEngine::new(
+            gen::complete(5, 2),
+            NabConfig {
+                f: 1,
+                symbols: 12,
+                seed: 21,
+            },
+        )
+        .unwrap();
+        e.set_broadcast_kind(crate::phase2::BroadcastKind::PhaseKing);
+        assert_eq!(e.broadcast_kind(), crate::phase2::BroadcastKind::PhaseKing);
+        let x = input(12);
+        let faulty = BTreeSet::from([2]);
+        let rep = e.run_instance(&x, &faulty, &mut TruthfulCorruptor).unwrap();
+        assert!(rep.mismatch_detected);
+        assert!(rep.dispute_ran);
+        for (&v, out) in &rep.outputs {
+            if !faulty.contains(&v) {
+                assert_eq!(*out, x, "node {v}");
+            }
+        }
+        assert_eq!(rep.newly_removed, vec![2]);
+    }
+
+    #[test]
+    fn run_many_fault_free_has_full_validity() {
+        let mut e = engine(8);
+        let sum = run_many(&mut e, 5, &BTreeSet::new(), &mut HonestStrategy, 9).unwrap();
+        assert_eq!(sum.instances, 5);
+        assert!(sum.all_correct);
+        assert_eq!(sum.dispute_rounds, 0);
+        assert!(sum.throughput > 0.0);
+    }
+
+    #[test]
+    fn run_many_with_adversary_amortizes() {
+        let mut e = engine(8);
+        let faulty = BTreeSet::from([1]);
+        let sum = run_many(&mut e, 6, &faulty, &mut TruthfulCorruptor, 9).unwrap();
+        assert!(sum.all_correct);
+        // The corruptor is exposed in the first dispute round; afterwards
+        // the fast path runs (f=1 node removed → residual faults 0).
+        assert_eq!(sum.dispute_rounds, 1);
+        assert!(sum.dispute_rounds <= DisputeState::max_executions(1));
+    }
+
+    #[test]
+    fn source_removal_defaults_all_outputs() {
+        let mut e = engine(8);
+        let x = input(8);
+        let faulty = BTreeSet::from([0]);
+        // An equivocating source that also lies in claims ends up removed…
+        // simplest: force removal via dispute state by running with a
+        // source that corrupts both trees and lies.
+        let rep = e.run_instance(&x, &faulty, &mut EquivocatingSource).unwrap();
+        assert!(rep.dispute_ran);
+        if e.disputes().removed.contains(&0) {
+            let rep2 = e.run_instance(&x, &faulty, &mut EquivocatingSource).unwrap();
+            assert!(rep2.defaulted);
+            for out in rep2.outputs.values() {
+                assert_eq!(*out, Value::zeros(8));
+            }
+        }
+    }
+
+    #[test]
+    fn phase_times_reproduce_paper_costs() {
+        // K4 cap 2: γ=6, U=12 → ρ=6… check L/γ and L/ρ shape.
+        let mut e = engine(12);
+        let x = input(12);
+        let rep = e
+            .run_instance(&x, &BTreeSet::new(), &mut HonestStrategy)
+            .unwrap();
+        let l = x.bits() as f64;
+        assert!((rep.times.phase1 - l / rep.gamma_k as f64).abs() < 1e-6);
+        // Equality time is L/ρ rounded up to whole 16-bit columns.
+        let cols = (12usize).div_ceil(rep.rho_k as usize) as f64;
+        assert!((rep.times.equality - cols * 16.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,62 @@
+//! NAB — Network-Aware Byzantine broadcast (Liang & Vaidya, 2012).
+//!
+//! This crate implements the paper's primary contribution: a Byzantine
+//! broadcast algorithm for synchronous point-to-point networks with
+//! per-link capacities that achieves at least 1/3 (sometimes 1/2) of the
+//! network's BB capacity. Each broadcast *instance* runs three phases:
+//!
+//! 1. **Unreliable broadcast** ([`phase1`]): the source streams its `L`-bit
+//!    input down `γ_k` capacity-respecting spanning arborescences of the
+//!    current graph `G_k` — optimal rate, zero fault tolerance.
+//! 2. **Failure detection** ([`phase2`]): the *equality check* with local
+//!    linear coding ([`equality`], Algorithm 1) — every node sends random
+//!    linear combinations of its received symbols on every outgoing link
+//!    and checks its neighbors' combinations against its own value — then
+//!    a classic 1-bit Byzantine broadcast of each node's MISMATCH flag.
+//! 3. **Dispute control** ([`dispute`], only on detected misbehavior):
+//!    full-transcript broadcasts that always end with a new dispute pair or
+//!    an exposed faulty node, shrinking `G_{k+1}`; at most `f(f+1)`
+//!    executions ever, so the amortized cost vanishes.
+//!
+//! The analysis side of the paper is implemented in [`bounds`] (the
+//! throughput lower bound `γ*ρ*/(γ*+ρ*)`, the capacity upper bound
+//! `min(γ*, 2ρ*)` of Theorem 2, and the reachable-graph family Γ) and
+//! [`theory`] (the `C_H`/`M_H` matrix construction of Theorem 1's proof).
+//! The executable protocol is orchestrated by [`engine::NabEngine`], with
+//! Byzantine strategies in [`adversary`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nab::engine::{NabConfig, NabEngine};
+//! use nab::adversary::HonestStrategy;
+//! use nab::value::Value;
+//! use nab_netgraph::gen;
+//! use std::collections::BTreeSet;
+//!
+//! # fn main() {
+//! let g = gen::complete(4, 2);
+//! let mut engine = NabEngine::new(g, NabConfig { f: 1, symbols: 8, seed: 7 }).unwrap();
+//! let input = Value::from_u64s(&[1, 2, 3, 4, 5, 6, 7, 8]);
+//! let report = engine
+//!     .run_instance(&input, &BTreeSet::new(), &mut HonestStrategy)
+//!     .unwrap();
+//! assert!(report.outputs.values().all(|v| *v == input));
+//! # }
+//! ```
+
+pub mod adversary;
+pub mod bounds;
+pub mod dispute;
+pub mod engine;
+pub mod equality;
+pub mod phase1;
+pub mod phase2;
+pub mod pipeline;
+pub mod stats;
+pub mod theory;
+pub mod value;
+
+pub use engine::{InstanceReport, NabConfig, NabEngine, NabError};
+pub use phase2::BroadcastKind;
+pub use value::Value;

@@ -1,0 +1,199 @@
+//! Phase 1: unreliable broadcast over spanning arborescences (Appendix A).
+//!
+//! The `L`-bit input splits into `γ_k` blocks, one streamed down each
+//! capacity-respecting spanning arborescence of `G_k`. No fault tolerance
+//! is attempted: a faulty relay can corrupt everything downstream of it on
+//! its tree. With zero propagation delay the whole phase takes `L/γ_k`
+//! time — each link `e` carries `(uses of e) · L/γ_k ≤ z_e · L/γ_k` bits.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nab_gf::Gf2_16;
+use nab_netgraph::arborescence::Arborescence;
+use nab_netgraph::{DiGraph, NodeId};
+use nab_sim::NetSim;
+
+use crate::adversary::NabAdversary;
+use crate::value::{Value, SYMBOL_BITS};
+
+/// Ground truth of one Phase-1 execution.
+#[derive(Debug, Clone)]
+pub struct Phase1Output {
+    /// The value each active node holds at the end of the phase (the
+    /// source holds its input).
+    pub values: BTreeMap<NodeId, Value>,
+    /// Every block actually transmitted: `(tree, src, dst) → block`.
+    pub sends: BTreeMap<(usize, NodeId, NodeId), Vec<Gf2_16>>,
+    /// Wall-clock duration charged (`≈ L/γ_k`).
+    pub duration: f64,
+}
+
+/// Runs Phase 1 on `gk`.
+///
+/// Faulty nodes (including a faulty source) choose their transmissions via
+/// `adv`; fault-free nodes follow the protocol. The returned
+/// [`Phase1Output::sends`] is the network's ground truth — each receiver's
+/// local view equals the sender's transmission because links are reliable.
+///
+/// # Panics
+///
+/// Panics if `source` is inactive in `gk` or a tree edge is missing from
+/// `gk`.
+pub fn run_phase1(
+    gk: &DiGraph,
+    source: NodeId,
+    input: &Value,
+    trees: &[Arborescence],
+    faulty: &BTreeSet<NodeId>,
+    adv: &mut dyn NabAdversary,
+) -> Phase1Output {
+    assert!(gk.is_active(source), "source must be active in G_k");
+    let honest_blocks = input.split_blocks(trees.len().max(1));
+
+    let mut sends: BTreeMap<(usize, NodeId, NodeId), Vec<Gf2_16>> = BTreeMap::new();
+    // Per-tree block held at each node.
+    let mut held: Vec<BTreeMap<NodeId, Vec<Gf2_16>>> = vec![BTreeMap::new(); trees.len()];
+
+    for (t, tree) in trees.iter().enumerate() {
+        held[t].insert(source, honest_blocks[t].clone());
+        for u in tree.bfs_order() {
+            let received = held[t].get(&u).cloned().unwrap_or_default();
+            for child in tree.children(u) {
+                let payload = if u == source {
+                    if faulty.contains(&source) {
+                        adv.phase1_source_block(t, child, &honest_blocks[t])
+                    } else {
+                        honest_blocks[t].clone()
+                    }
+                } else if faulty.contains(&u) {
+                    adv.phase1_forward(u, t, child, &received)
+                } else {
+                    received.clone()
+                };
+                sends.insert((t, u, child), payload.clone());
+                held[t].insert(child, payload);
+            }
+        }
+    }
+
+    // Charge link time: all transmissions happen concurrently (zero
+    // propagation delay), so the phase lasts as long as its busiest link.
+    let mut net: NetSim<Vec<Gf2_16>> = NetSim::new(gk.clone());
+    net.set_record_transcript(false);
+    for ((_, src, dst), block) in &sends {
+        net.send(*src, *dst, block.len() as u64 * SYMBOL_BITS, block.clone())
+            .expect("tree edges exist in G_k");
+    }
+    let duration = net.deliver_round("phase1");
+
+    // Final values.
+    let mut values = BTreeMap::new();
+    for v in gk.nodes() {
+        if v == source {
+            values.insert(v, input.clone());
+        } else {
+            let blocks: Vec<Vec<Gf2_16>> = (0..trees.len())
+                .map(|t| held[t].get(&v).cloned().unwrap_or_default())
+                .collect();
+            values.insert(v, Value::join_blocks(&blocks));
+        }
+    }
+
+    Phase1Output {
+        values,
+        sends,
+        duration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{EquivocatingSource, HonestStrategy, TruthfulCorruptor};
+    use nab_netgraph::arborescence::pack_arborescences;
+    use nab_netgraph::flow::broadcast_rate;
+    use nab_netgraph::gen;
+
+    fn setup(g: &DiGraph) -> (Vec<Arborescence>, Value) {
+        let gamma = broadcast_rate(g, 0);
+        let trees = pack_arborescences(g, 0, gamma).unwrap();
+        let input = Value::from_u64s(&[11, 22, 33, 44, 55, 66]);
+        (trees, input)
+    }
+
+    #[test]
+    fn fault_free_run_delivers_input_everywhere() {
+        let g = gen::figure_2a();
+        let (trees, input) = setup(&g);
+        let out = run_phase1(&g, 0, &input, &trees, &BTreeSet::new(), &mut HonestStrategy);
+        for v in g.nodes() {
+            assert_eq!(out.values[&v], input, "node {v} got wrong value");
+        }
+    }
+
+    #[test]
+    fn duration_is_l_over_gamma() {
+        // figure_2a: γ=2, S=6 symbols → L=96 bits → L/γ = 48 time units.
+        let g = gen::figure_2a();
+        let (trees, input) = setup(&g);
+        let out = run_phase1(&g, 0, &input, &trees, &BTreeSet::new(), &mut HonestStrategy);
+        assert!((out.duration - 48.0).abs() < 1e-9, "duration {}", out.duration);
+    }
+
+    #[test]
+    fn corrupt_relay_poisons_its_subtree_only() {
+        let g = gen::figure_2a();
+        let (trees, input) = setup(&g);
+        let faulty = BTreeSet::from([1]);
+        let out = run_phase1(&g, 0, &input, &trees, &faulty, &mut TruthfulCorruptor);
+        // Node 1 corrupts everything it forwards; some downstream node must
+        // end up with a value differing from the input.
+        let poisoned = g.nodes().filter(|&v| out.values[&v] != input).count();
+        assert!(poisoned > 0, "corruption must reach someone");
+        // The source always holds its own input.
+        assert_eq!(out.values[&0], input);
+    }
+
+    #[test]
+    fn equivocating_source_creates_disagreement() {
+        let g = gen::figure_2a();
+        let (trees, input) = setup(&g);
+        let faulty = BTreeSet::from([0]);
+        let out = run_phase1(&g, 0, &input, &trees, &faulty, &mut EquivocatingSource);
+        let distinct: std::collections::HashSet<_> = g
+            .nodes()
+            .filter(|&v| v != 0)
+            .map(|v| out.values[&v].clone())
+            .collect();
+        // Tree 0 is corrupted, so at least one non-source node differs from
+        // the honest input.
+        assert!(
+            g.nodes().filter(|&v| v != 0).any(|v| out.values[&v] != input),
+            "equivocation must corrupt someone: {distinct:?}"
+        );
+    }
+
+    #[test]
+    fn sends_ground_truth_covers_every_tree_edge() {
+        let g = gen::complete(4, 1);
+        let (trees, input) = setup(&g);
+        let out = run_phase1(&g, 0, &input, &trees, &BTreeSet::new(), &mut HonestStrategy);
+        let expected: usize = trees.iter().map(|t| t.edges.len()).sum();
+        assert_eq!(out.sends.len(), expected);
+    }
+
+    #[test]
+    fn single_tree_graph() {
+        // A directed path has γ=1.
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        let trees = pack_arborescences(&g, 0, 1).unwrap();
+        let input = Value::from_u64s(&[1, 2, 3]);
+        let out = run_phase1(&g, 0, &input, &trees, &BTreeSet::new(), &mut HonestStrategy);
+        assert_eq!(out.values[&2], input);
+        // 48 bits over unit links: 48 time units on each of 2 links, in
+        // parallel → 48.
+        assert!((out.duration - 48.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,399 @@
+//! Phase 2: failure detection — the equality check on the wire (step 2.1)
+//! and Byzantine broadcast of the 1-bit flags (step 2.2).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use nab_bb::baselines::RoutedChannel;
+use nab_bb::eig::{run_eig, EigChannel, HonestAdversary};
+use nab_bb::phaseking::{run_phase_king, PkHonest};
+use nab_bb::router::{PathRouter, Routed};
+use nab_gf::Gf2_16;
+use nab_netgraph::arborescence::Arborescence;
+use nab_netgraph::{DiGraph, NodeId};
+use nab_sim::NetSim;
+
+use crate::adversary::NabAdversary;
+use crate::dispute::NodeClaims;
+use crate::equality::CodingScheme;
+use crate::value::{Value, SYMBOL_BITS};
+
+/// Ground truth of one equality-check execution (step 2.1).
+#[derive(Debug, Clone)]
+pub struct EqOutcome {
+    /// Coded symbols actually transmitted per edge.
+    pub sends: BTreeMap<(NodeId, NodeId), Vec<Gf2_16>>,
+    /// Each node's honestly computed flag (`true` = MISMATCH). Faulty
+    /// nodes may *announce* something else; see
+    /// [`run_flag_broadcast`].
+    pub flags: BTreeMap<NodeId, bool>,
+    /// Wall-clock duration (`≈ L/ρ_k`).
+    pub duration: f64,
+}
+
+/// Runs the equality check (Algorithm 1) over the simulator on `gk`.
+pub fn run_equality_phase(
+    gk: &DiGraph,
+    values: &BTreeMap<NodeId, Value>,
+    scheme: &CodingScheme,
+    faulty: &BTreeSet<NodeId>,
+    adv: &mut dyn NabAdversary,
+) -> EqOutcome {
+    let mut net: NetSim<Vec<Gf2_16>> = NetSim::new(gk.clone());
+    net.set_record_transcript(false);
+    let mut sends = BTreeMap::new();
+
+    for (_, e) in gk.edges() {
+        let honest = scheme.encode(e.src, e.dst, &values[&e.src]);
+        let sent = if faulty.contains(&e.src) {
+            adv.equality_symbols(e.src, e.dst, &honest)
+        } else {
+            honest
+        };
+        net.send(
+            e.src,
+            e.dst,
+            sent.len() as u64 * SYMBOL_BITS,
+            sent.clone(),
+        )
+        .expect("edge exists");
+        sends.insert((e.src, e.dst), sent);
+    }
+    let duration = net.deliver_round("phase2/equality");
+
+    let mut flags: BTreeMap<NodeId, bool> = gk.nodes().map(|v| (v, false)).collect();
+    for v in gk.nodes() {
+        for (from, symbols) in net.take_inbox(v) {
+            if !scheme.check(from, v, &values[&v], &symbols) {
+                flags.insert(v, true);
+            }
+        }
+    }
+
+    EqOutcome {
+        sends,
+        flags,
+        duration,
+    }
+}
+
+/// Which classic BB protocol serves as `Broadcast_Default` for flags and
+/// dispute-control claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BroadcastKind {
+    /// Exponential Information Gathering: optimal resilience (`n > 3f`),
+    /// message count `O(n^{f+1})`.
+    #[default]
+    Eig,
+    /// Phase-King: polynomial messages `O(f·n²)` but needs `n > 4f`;
+    /// automatically falls back to EIG when the participant count is too
+    /// small.
+    PhaseKing,
+}
+
+/// Runs one `Broadcast_Default` of `input` from `source` among
+/// `participants` over the given channel, returning every participant's
+/// decision.
+pub fn broadcast_value<V, C>(
+    kind: BroadcastKind,
+    participants: &[NodeId],
+    source: NodeId,
+    f: usize,
+    input: V,
+    faulty: &BTreeSet<NodeId>,
+    chan: &mut C,
+    bits: u64,
+) -> BTreeMap<NodeId, V>
+where
+    V: Clone + Eq + Ord + Default,
+    C: EigChannel<V>,
+{
+    match kind {
+        BroadcastKind::PhaseKing if participants.len() > 4 * f => {
+            run_phase_king(
+                participants,
+                source,
+                f,
+                input,
+                faulty,
+                &mut PkHonest,
+                chan,
+                bits,
+            )
+            .decisions
+        }
+        _ => {
+            run_eig(
+                participants,
+                source,
+                f,
+                input,
+                faulty,
+                &mut HonestAdversary,
+                chan,
+                bits,
+            )
+            .decisions
+        }
+    }
+}
+
+/// Outcome of step 2.2: every participant Byzantine-broadcasts its flag.
+#[derive(Debug, Clone)]
+pub struct FlagOutcome {
+    /// The flag each node *announced* (faulty nodes may have lied).
+    pub announced: BTreeMap<NodeId, bool>,
+    /// Per broadcaster, the decision each participant reached (all
+    /// fault-free participants agree, by EIG correctness).
+    pub decisions: BTreeMap<NodeId, BTreeMap<NodeId, bool>>,
+    /// Wall-clock duration of all flag broadcasts.
+    pub duration: f64,
+}
+
+impl FlagOutcome {
+    /// The agreed flag of broadcaster `b` as seen by `observer`.
+    pub fn agreed(&self, b: NodeId, observer: NodeId) -> bool {
+        self.decisions[&b][&observer]
+    }
+
+    /// Whether any broadcaster's agreed flag (at `observer`) is MISMATCH.
+    pub fn any_mismatch(&self, observer: NodeId) -> bool {
+        self.decisions.values().any(|d| d[&observer])
+    }
+}
+
+/// Runs step 2.2: one EIG broadcast per participant of its 1-bit flag,
+/// over the `2f+1`-disjoint-path emulated complete graph of the *original*
+/// network `g0` (dispute-removed links still physically exist; NAB only
+/// stops trusting them for its own phases).
+///
+/// `f_residual` is the fault budget among the participants (original `f`
+/// minus nodes already exposed and excluded).
+pub fn run_flag_broadcast(
+    g0: &DiGraph,
+    router: &PathRouter,
+    participants: &[NodeId],
+    f_residual: usize,
+    computed_flags: &BTreeMap<NodeId, bool>,
+    faulty: &BTreeSet<NodeId>,
+    adv: &mut dyn NabAdversary,
+    kind: BroadcastKind,
+) -> FlagOutcome {
+    let mut net: NetSim<Routed<u64>> = NetSim::new(g0.clone());
+    net.set_record_transcript(false);
+
+    let mut announced = BTreeMap::new();
+    let mut decisions = BTreeMap::new();
+    for &b in participants {
+        let honest = computed_flags[&b];
+        let flag = if faulty.contains(&b) {
+            adv.flag(b, honest)
+        } else {
+            honest
+        };
+        announced.insert(b, flag);
+        let dec = {
+            let mut chan = RoutedChannel {
+                net: &mut net,
+                router,
+                faulty,
+            };
+            broadcast_value(
+                kind,
+                participants,
+                b,
+                f_residual,
+                flag as u64,
+                faulty,
+                &mut chan,
+                1,
+            )
+        };
+        decisions.insert(b, dec.iter().map(|(&n, &v)| (n, v != 0)).collect());
+    }
+
+    FlagOutcome {
+        announced,
+        decisions,
+        duration: net.clock(),
+    }
+}
+
+/// Builds every node's *truthful* claims from the ground truth of Phases
+/// 1–2 (what Phase 3 broadcasts when nodes do not lie about their
+/// transcripts). `announced_flags` are the flags from step 2.2.
+pub fn honest_claims(
+    gk: &DiGraph,
+    source: NodeId,
+    input: &Value,
+    _trees: &[Arborescence],
+    _scheme: &CodingScheme,
+    p1: &crate::phase1::Phase1Output,
+    eq: &EqOutcome,
+    announced_flags: &BTreeMap<NodeId, bool>,
+) -> BTreeMap<NodeId, NodeClaims> {
+    let mut claims: BTreeMap<NodeId, NodeClaims> = gk
+        .nodes()
+        .map(|v| {
+            (
+                v,
+                NodeClaims {
+                    flag: announced_flags.get(&v).copied().unwrap_or(false),
+                    ..NodeClaims::default()
+                },
+            )
+        })
+        .collect();
+    claims.get_mut(&source).unwrap().input = Some(input.symbols().to_vec());
+
+    for (&(t, src, dst), block) in &p1.sends {
+        claims
+            .get_mut(&src)
+            .unwrap()
+            .p1_sent
+            .insert((t, dst), block.clone());
+        claims
+            .get_mut(&dst)
+            .unwrap()
+            .p1_received
+            .insert((t, src), block.clone());
+    }
+    for (&(src, dst), symbols) in &eq.sends {
+        claims
+            .get_mut(&src)
+            .unwrap()
+            .eq_sent
+            .insert(dst, symbols.clone());
+        claims
+            .get_mut(&dst)
+            .unwrap()
+            .eq_received
+            .insert(src, symbols.clone());
+    }
+    claims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{EqualityGarbler, FalseAlarm, HonestStrategy, TruthfulCorruptor};
+    use crate::phase1::run_phase1;
+    use nab_netgraph::arborescence::pack_arborescences;
+    use nab_netgraph::flow::broadcast_rate;
+    use nab_netgraph::gen;
+
+    fn complete_setup() -> (DiGraph, Vec<Arborescence>, CodingScheme, Value) {
+        let g = gen::complete(4, 2);
+        let gamma = broadcast_rate(&g, 0);
+        let trees = pack_arborescences(&g, 0, gamma).unwrap();
+        let scheme = CodingScheme::random(&g, 2, 17);
+        let input = Value::from_u64s(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+        (g, trees, scheme, input)
+    }
+
+    #[test]
+    fn clean_run_raises_no_flags() {
+        let (g, trees, scheme, input) = complete_setup();
+        let p1 = run_phase1(&g, 0, &input, &trees, &BTreeSet::new(), &mut HonestStrategy);
+        let eq = run_equality_phase(&g, &p1.values, &scheme, &BTreeSet::new(), &mut HonestStrategy);
+        assert!(eq.flags.values().all(|f| !f));
+    }
+
+    #[test]
+    fn equality_duration_is_l_over_rho() {
+        let (g, trees, scheme, input) = complete_setup();
+        let p1 = run_phase1(&g, 0, &input, &trees, &BTreeSet::new(), &mut HonestStrategy);
+        let eq = run_equality_phase(&g, &p1.values, &scheme, &BTreeSet::new(), &mut HonestStrategy);
+        // S=12 symbols, ρ=2 → 6 columns × 16 bits = 96 bits = L/ρ, and
+        // every link of capacity z carries 6·z symbols → 96 time units / z·z…
+        // each link: z·6 symbols·16 bits / z cap = 96.
+        assert!((eq.duration - 96.0).abs() < 1e-9, "duration {}", eq.duration);
+    }
+
+    #[test]
+    fn phase1_corruption_is_flagged() {
+        let (g, trees, scheme, input) = complete_setup();
+        let faulty = BTreeSet::from([1]);
+        let mut adv = TruthfulCorruptor;
+        let p1 = run_phase1(&g, 0, &input, &trees, &faulty, &mut adv);
+        let eq = run_equality_phase(&g, &p1.values, &scheme, &faulty, &mut adv);
+        assert!(
+            eq.flags.iter().any(|(v, f)| *f && !faulty.contains(v)),
+            "a fault-free node must flag the mismatch: {:?}",
+            eq.flags
+        );
+    }
+
+    #[test]
+    fn garbled_equality_symbols_flag_receivers() {
+        let (g, trees, scheme, input) = complete_setup();
+        let faulty = BTreeSet::from([2]);
+        let mut adv = EqualityGarbler;
+        let p1 = run_phase1(&g, 0, &input, &trees, &faulty, &mut adv);
+        let eq = run_equality_phase(&g, &p1.values, &scheme, &faulty, &mut adv);
+        assert!(eq.flags.iter().any(|(v, f)| *f && *v != 2));
+    }
+
+    #[test]
+    fn flag_broadcast_reaches_agreement() {
+        let (g, _, _, _) = complete_setup();
+        let router = PathRouter::build(&g, 1).unwrap();
+        let participants: Vec<NodeId> = g.nodes().collect();
+        let computed: BTreeMap<NodeId, bool> =
+            participants.iter().map(|&v| (v, v == 2)).collect();
+        let out = run_flag_broadcast(
+            &g,
+            &router,
+            &participants,
+            1,
+            &computed,
+            &BTreeSet::new(),
+            &mut HonestStrategy,
+            BroadcastKind::Eig,
+        );
+        for &b in &participants {
+            for &o in &participants {
+                assert_eq!(out.agreed(b, o), b == 2);
+            }
+        }
+        assert!(out.any_mismatch(0));
+        assert!(out.duration > 0.0);
+    }
+
+    #[test]
+    fn false_alarm_is_agreed_as_mismatch() {
+        let (g, _, _, _) = complete_setup();
+        let router = PathRouter::build(&g, 1).unwrap();
+        let participants: Vec<NodeId> = g.nodes().collect();
+        let computed: BTreeMap<NodeId, bool> =
+            participants.iter().map(|&v| (v, false)).collect();
+        let faulty = BTreeSet::from([3]);
+        let out = run_flag_broadcast(
+            &g,
+            &router,
+            &participants,
+            1,
+            &computed,
+            &faulty,
+            &mut FalseAlarm,
+            BroadcastKind::Eig,
+        );
+        // All honest observers see node 3's MISMATCH announcement.
+        for o in [0, 1, 2] {
+            assert!(out.agreed(3, o));
+            assert!(out.any_mismatch(o));
+        }
+    }
+
+    #[test]
+    fn honest_claims_are_mutually_consistent() {
+        let (g, trees, scheme, input) = complete_setup();
+        let p1 = run_phase1(&g, 0, &input, &trees, &BTreeSet::new(), &mut HonestStrategy);
+        let eq = run_equality_phase(&g, &p1.values, &scheme, &BTreeSet::new(), &mut HonestStrategy);
+        let claims = honest_claims(&g, 0, &input, &trees, &scheme, &p1, &eq, &eq.flags);
+        assert!(crate::dispute::dc2_disputes(&claims).is_empty());
+        assert!(crate::dispute::dc3_exposed(&g, 0, &trees, &scheme, &claims).is_empty());
+        // Claims have meaningful sizes.
+        assert!(claims[&0].bits() > 0);
+        assert_eq!(claims[&0].implied_value(trees.len()), input);
+    }
+}

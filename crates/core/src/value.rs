@@ -1,0 +1,208 @@
+//! The broadcast value: an `L`-bit string viewed as symbols of `GF(2^16)`.
+//!
+//! The paper works with abstract `L`-bit inputs that are re-interpreted per
+//! phase: Phase 1 splits them into `γ_k` blocks, the equality check
+//! re-shapes them into `ρ_k` symbols of `GF(2^{L/ρ_k})`. We fix the machine
+//! symbol at 16 bits ([`nab_gf::Gf2_16`]) and represent an `L`-bit value as
+//! `S = L/16` symbols; the giant field `GF(2^{L/ρ})` is realized as `S/ρ`
+//! independent `GF(2^16)` *columns* checked with the same coding matrices —
+//! exactly the block decomposition the random-coding argument factorizes
+//! over (see DESIGN.md, substitutions).
+
+use std::fmt;
+
+use nab_gf::field::Field;
+use nab_gf::Gf2_16;
+use rand::Rng;
+
+/// Bits per machine symbol.
+pub const SYMBOL_BITS: u64 = 16;
+
+/// An `L`-bit broadcast value as a vector of 16-bit field symbols.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Value {
+    symbols: Vec<Gf2_16>,
+}
+
+impl Value {
+    /// A value of `s` zero symbols.
+    pub fn zeros(s: usize) -> Self {
+        Value {
+            symbols: vec![Gf2_16::ZERO; s],
+        }
+    }
+
+    /// Builds a value from raw integers (each truncated to 16 bits).
+    pub fn from_u64s(raw: &[u64]) -> Self {
+        Value {
+            symbols: raw.iter().map(|&x| Gf2_16::from_u64(x)).collect(),
+        }
+    }
+
+    /// Builds a value from field symbols.
+    pub fn from_symbols(symbols: Vec<Gf2_16>) -> Self {
+        Value { symbols }
+    }
+
+    /// A uniformly random value of `s` symbols.
+    pub fn random<R: Rng + ?Sized>(s: usize, rng: &mut R) -> Self {
+        Value {
+            symbols: (0..s).map(|_| Gf2_16::random(rng)).collect(),
+        }
+    }
+
+    /// Number of symbols `S`.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Whether the value has no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+
+    /// Total size in bits (`L = 16·S`).
+    pub fn bits(&self) -> u64 {
+        self.symbols.len() as u64 * SYMBOL_BITS
+    }
+
+    /// The symbols as a slice.
+    pub fn symbols(&self) -> &[Gf2_16] {
+        &self.symbols
+    }
+
+    /// Splits the value into `parts` nearly-equal contiguous blocks
+    /// (Phase 1: one block per spanning arborescence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is zero.
+    pub fn split_blocks(&self, parts: usize) -> Vec<Vec<Gf2_16>> {
+        assert!(parts > 0, "cannot split into zero blocks");
+        let s = self.symbols.len();
+        let base = s / parts;
+        let extra = s % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut idx = 0;
+        for p in 0..parts {
+            let take = base + usize::from(p < extra);
+            out.push(self.symbols[idx..idx + take].to_vec());
+            idx += take;
+        }
+        out
+    }
+
+    /// Reassembles a value from contiguous blocks (inverse of
+    /// [`Value::split_blocks`]).
+    pub fn join_blocks(blocks: &[Vec<Gf2_16>]) -> Self {
+        Value {
+            symbols: blocks.iter().flatten().copied().collect(),
+        }
+    }
+
+    /// Re-shapes the value into a `ρ × cols` matrix for the equality check:
+    /// entry `(r, c)` is symbol `c·ρ + r`, zero-padded to a whole number of
+    /// columns. Column `c` plays the role of the vector `X_i` in Algorithm 1
+    /// over one 16-bit slice of `GF(2^{L/ρ})`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rho` is zero.
+    pub fn reshape(&self, rho: usize) -> Vec<Vec<Gf2_16>> {
+        assert!(rho > 0, "equality-check parameter ρ must be positive");
+        let cols = self.symbols.len().div_ceil(rho);
+        let mut out = vec![vec![Gf2_16::ZERO; rho]; cols];
+        for (i, &sym) in self.symbols.iter().enumerate() {
+            out[i / rho][i % rho] = sym;
+        }
+        out
+    }
+
+    /// Flips one symbol (test helper for corruption scenarios).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn corrupt_symbol(&self, idx: usize, delta: u64) -> Self {
+        let mut v = self.clone();
+        v.symbols[idx] = v.symbols[idx].add(Gf2_16::from_u64(delta | 1));
+        v
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Value[{} sym:", self.symbols.len())?;
+        for s in self.symbols.iter().take(4) {
+            write!(f, " {s}")?;
+        }
+        if self.symbols.len() > 4 {
+            write!(f, " …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_count_symbols() {
+        let v = Value::from_u64s(&[1, 2, 3]);
+        assert_eq!(v.bits(), 48);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn split_join_roundtrip_even() {
+        let v = Value::from_u64s(&[1, 2, 3, 4, 5, 6]);
+        let blocks = v.split_blocks(3);
+        assert_eq!(blocks.iter().map(Vec::len).collect::<Vec<_>>(), vec![2, 2, 2]);
+        assert_eq!(Value::join_blocks(&blocks), v);
+    }
+
+    #[test]
+    fn split_join_roundtrip_uneven() {
+        let v = Value::from_u64s(&[1, 2, 3, 4, 5, 6, 7]);
+        let blocks = v.split_blocks(3);
+        assert_eq!(blocks.iter().map(Vec::len).collect::<Vec<_>>(), vec![3, 2, 2]);
+        assert_eq!(Value::join_blocks(&blocks), v);
+    }
+
+    #[test]
+    fn reshape_is_column_major_with_padding() {
+        let v = Value::from_u64s(&[1, 2, 3, 4, 5]);
+        let m = v.reshape(2);
+        // Columns: [1,2], [3,4], [5,0].
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0], vec![Gf2_16(1), Gf2_16(2)]);
+        assert_eq!(m[2], vec![Gf2_16(5), Gf2_16(0)]);
+    }
+
+    #[test]
+    fn distinct_values_differ_in_reshape() {
+        let v = Value::from_u64s(&[1, 2, 3, 4]);
+        let w = v.corrupt_symbol(2, 0);
+        assert_ne!(v, w);
+        let (mv, mw) = (v.reshape(2), w.reshape(2));
+        assert_ne!(mv, mw);
+    }
+
+    #[test]
+    fn random_values_differ() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Value::random(16, &mut rng);
+        let b = Value::random(16, &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero blocks")]
+    fn zero_split_rejected() {
+        Value::from_u64s(&[1]).split_blocks(0);
+    }
+}

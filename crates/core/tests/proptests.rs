@@ -1,0 +1,164 @@
+//! Property-based tests for the NAB core: value plumbing, equality-check
+//! algebra, dispute-control soundness, and bound consistency.
+
+use std::collections::BTreeSet;
+
+use nab::bounds::{self, pair};
+use nab::dispute::DisputeState;
+use nab::equality::{equality_check_flags, no_tamper, CodingScheme};
+use nab::value::Value;
+use nab_netgraph::gen;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_value(max_len: usize) -> impl Strategy<Value = Value> {
+    proptest::collection::vec(any::<u16>(), 1..=max_len)
+        .prop_map(|v| Value::from_u64s(&v.iter().map(|&x| x as u64).collect::<Vec<_>>()))
+}
+
+proptest! {
+    #[test]
+    fn split_join_roundtrips(v in arb_value(64), parts in 1usize..8) {
+        let blocks = v.split_blocks(parts);
+        prop_assert_eq!(blocks.len(), parts);
+        prop_assert_eq!(Value::join_blocks(&blocks), v);
+        // Blocks are balanced to within one symbol.
+        let lens: Vec<usize> = blocks.iter().map(Vec::len).collect();
+        let (mn, mx) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+        prop_assert!(mx - mn <= 1);
+    }
+
+    #[test]
+    fn reshape_covers_all_symbols(v in arb_value(64), rho in 1usize..9) {
+        let m = v.reshape(rho);
+        let total: usize = m.len() * rho;
+        prop_assert!(total >= v.len());
+        prop_assert!(total < v.len() + rho);
+        // Flattening column-major recovers the symbols (plus padding).
+        let flat: Vec<_> = m.iter().flatten().copied().collect();
+        prop_assert_eq!(&flat[..v.len()], v.symbols());
+    }
+
+    #[test]
+    fn encode_is_linear(a in arb_value(24), b_seed in any::<u64>(), seed in any::<u64>()) {
+        use nab_gf::field::Field;
+        // Y(a + b) = Y(a) + Y(b): the coding is GF-linear, the property
+        // the whole construction rests on.
+        let g = gen::complete(3, 2);
+        let scheme = CodingScheme::random(&g, 2, seed);
+        let mut rng = StdRng::seed_from_u64(b_seed);
+        let b = Value::random(a.len(), &mut rng);
+        let sum = Value::from_symbols(
+            a.symbols()
+                .iter()
+                .zip(b.symbols())
+                .map(|(&x, &y)| x.add(y))
+                .collect(),
+        );
+        let ya = scheme.encode(0, 1, &a);
+        let yb = scheme.encode(0, 1, &b);
+        let ysum = scheme.encode(0, 1, &sum);
+        let manual: Vec<_> = ya.iter().zip(&yb).map(|(&x, &y)| x.add(y)).collect();
+        prop_assert_eq!(ysum, manual);
+    }
+
+    #[test]
+    fn equal_values_never_flag(v in arb_value(32), seed in any::<u64>(), rho in 1usize..4) {
+        let g = gen::complete(4, 2);
+        let scheme = CodingScheme::random(&g, rho, seed);
+        let values = g.nodes().map(|n| (n, v.clone())).collect();
+        let flags = equality_check_flags(&g, &values, &scheme, &mut no_tamper);
+        prop_assert!(flags.values().all(|f| !f));
+    }
+
+    #[test]
+    fn single_symbol_deviation_always_detected(
+        v in arb_value(32),
+        idx_seed in any::<u64>(),
+        delta in 1u64..0xFFFF,
+        seed in any::<u64>(),
+    ) {
+        // Over GF(2^16) a one-symbol deviation escapes a single coded
+        // check with probability 2^-16; over the whole graph and test run
+        // this should never fire.
+        let g = gen::complete(4, 2);
+        let scheme = CodingScheme::random(&g, 2, seed);
+        let idx = (idx_seed as usize) % v.len();
+        let mut values: std::collections::BTreeMap<_, _> =
+            g.nodes().map(|n| (n, v.clone())).collect();
+        values.insert(3, v.corrupt_symbol(idx, delta));
+        let flags = equality_check_flags(&g, &values, &scheme, &mut no_tamper);
+        prop_assert!(flags.values().any(|f| *f));
+    }
+
+    #[test]
+    fn dispute_integration_is_sound(
+        pairs in proptest::collection::vec((0usize..4, 0usize..4), 0..4),
+    ) {
+        // Whatever pairs are reported, a node is only removed if it lies
+        // in EVERY ≤f explanation — so removal implies it covers pairs no
+        // small set avoids.
+        let g = gen::complete(4, 1);
+        let valid: Vec<_> = pairs
+            .into_iter()
+            .filter(|&(a, b)| a != b)
+            .map(|(a, b)| pair(a, b))
+            .collect();
+        // Only integrate explainable sets (some single node covers all).
+        let explainable = (0..4).any(|c| valid.iter().all(|&(a, b)| a == c || b == c));
+        if !explainable {
+            return Ok(());
+        }
+        let mut st = DisputeState::new();
+        let removed = st.integrate(&g, 1, &valid, &[]);
+        for &r in &removed {
+            // r must appear in every single-node cover.
+            for c in 0..4 {
+                let covers = valid.iter().all(|&(a, b)| a == c || b == c);
+                if covers {
+                    prop_assert_eq!(c, r, "cover {} avoids removed {}", c, r);
+                }
+            }
+        }
+        // Graph evolution drops exactly the disputed links.
+        let gk = st.current_graph(&g);
+        for &(a, b) in &valid {
+            if gk.is_active(a) && gk.is_active(b) {
+                prop_assert!(gk.find_edge(a, b).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_monotone_under_dispute(seed in any::<u64>(), a in 0usize..4, b in 0usize..4) {
+        // Appendix C.2: Ω_k ⊆ Ω_1, hence U_k ≥ U_1 — disputes can only
+        // *raise* the equality-check rate (ρ_k ≥ ρ*), because the minimum
+        // runs over fewer candidate subgraphs and disputed pairs never
+        // appear jointly inside any Ω_k member. Phase-1's γ, by contrast,
+        // can only drop as G_k loses edges.
+        if a == b { return Ok(()); }
+        let mut grng = StdRng::seed_from_u64(seed);
+        let g = gen::random_connected(4, 0.9, 3, &mut grng);
+        let no_disputes = BTreeSet::new();
+        let with: BTreeSet<_> = BTreeSet::from([pair(a, b)]);
+        let mut st = DisputeState::new();
+        st.integrate(&g, 1, &[pair(a, b)], &[]);
+        let gk = st.current_graph(&g);
+        if let (Some(u1), Some(uk)) = (bounds::u_k(&g, 1, &no_disputes), bounds::u_k(&gk, 1, &with)) {
+            prop_assert!(uk >= u1, "U_k {} < U_1 {}", uk, u1);
+        }
+        if gk.is_active(0) && gk.all_reachable_from(0) {
+            prop_assert!(bounds::gamma_k(&gk, 0) <= bounds::gamma_k(&g, 0));
+        }
+    }
+
+    #[test]
+    fn coding_scheme_is_seed_deterministic(seed in any::<u64>(), v in arb_value(16)) {
+        let g = gen::complete(3, 2);
+        let s1 = CodingScheme::random(&g, 2, seed);
+        let s2 = CodingScheme::random(&g, 2, seed);
+        prop_assert_eq!(s1.encode(0, 1, &v), s2.encode(0, 1, &v));
+        prop_assert_eq!(s1.encode(2, 1, &v), s2.encode(2, 1, &v));
+    }
+}

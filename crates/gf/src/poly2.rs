@@ -1,0 +1,206 @@
+//! Polynomial arithmetic over `GF(2)` with `u128` bit-packed coefficients.
+//!
+//! Used to implement the generic [`crate::gf2m::Gf2m`] field (carry-less
+//! multiplication and modular reduction) and to *verify* that the built-in
+//! irreducible-polynomial table really is irreducible (see
+//! [`is_irreducible`]), so a typo in the table cannot silently corrupt field
+//! arithmetic.
+
+/// Degree of a `GF(2)` polynomial packed into a `u128` (`-1` → zero poly).
+#[inline]
+pub fn degree(p: u128) -> i32 {
+    127 - p.leading_zeros() as i32
+}
+
+/// Carry-less multiplication of two bit-packed `GF(2)` polynomials.
+///
+/// The result is exact (no reduction); callers must ensure the true product
+/// fits in 128 bits, i.e. `degree(a) + degree(b) < 128`.
+pub fn clmul(a: u128, b: u128) -> u128 {
+    let mut acc = 0u128;
+    let mut a = a;
+    let mut b = b;
+    while b != 0 {
+        if b & 1 == 1 {
+            acc ^= a;
+        }
+        a <<= 1;
+        b >>= 1;
+    }
+    acc
+}
+
+/// Remainder of bit-packed polynomial division: `a mod m`.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn pmod(mut a: u128, m: u128) -> u128 {
+    assert!(m != 0, "polynomial modulus must be non-zero");
+    let dm = degree(m);
+    while degree(a) >= dm {
+        a ^= m << (degree(a) - dm) as u32;
+    }
+    a
+}
+
+/// Greatest common divisor of two bit-packed `GF(2)` polynomials.
+pub fn pgcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = pmod(a, b);
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Squares `x` modulo `m`.
+pub fn sqr_mod(x: u128, m: u128) -> u128 {
+    // Squaring in GF(2)[x] spreads bits: bit i -> bit 2i. For degree < 64
+    // inputs the spread fits in 128 bits.
+    debug_assert!(degree(x) < 64);
+    let mut out = 0u128;
+    let mut i = 0;
+    let mut v = x;
+    while v != 0 {
+        if v & 1 == 1 {
+            out ^= 1u128 << (2 * i);
+        }
+        v >>= 1;
+        i += 1;
+    }
+    pmod(out, m)
+}
+
+/// Multiplies `a * b mod m` for polynomials of degree < 64.
+pub fn mul_mod(a: u128, b: u128, m: u128) -> u128 {
+    pmod(clmul(a, b), m)
+}
+
+/// Computes `x^(2^k) mod m` by repeated squaring.
+pub fn pow2k_mod(mut x: u128, k: u32, m: u128) -> u128 {
+    for _ in 0..k {
+        x = sqr_mod(x, m);
+    }
+    x
+}
+
+/// Tests whether the bit-packed polynomial `m` of degree `d` is irreducible
+/// over `GF(2)`.
+///
+/// Uses Rabin's irreducibility test: `m` (degree `d`) is irreducible iff
+/// `x^(2^d) ≡ x (mod m)` and `gcd(x^(2^(d/q)) − x, m) = 1` for every prime
+/// divisor `q` of `d`.
+pub fn is_irreducible(m: u128) -> bool {
+    let d = degree(m);
+    if d <= 0 {
+        return false;
+    }
+    let d = d as u32;
+    let x = pmod(2, m); // the polynomial "x", reduced mod m (matters for d=1)
+
+    // x^(2^d) mod m must equal x.
+    if pow2k_mod(x, d, m) != x {
+        return false;
+    }
+    // For each prime q | d, gcd(x^(2^(d/q)) - x, m) must be 1.
+    for q in prime_divisors(d) {
+        let t = pow2k_mod(x, d / q, m);
+        if pgcd(t ^ x, m) != 1 {
+            return false;
+        }
+    }
+    true
+}
+
+/// The distinct prime divisors of `n`.
+fn prime_divisors(mut n: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut p = 2;
+    while p * p <= n {
+        if n % p == 0 {
+            out.push(p);
+            while n % p == 0 {
+                n /= p;
+            }
+        }
+        p += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_of_constants() {
+        assert_eq!(degree(0), -1);
+        assert_eq!(degree(1), 0);
+        assert_eq!(degree(2), 1);
+        assert_eq!(degree(0b1000), 3);
+    }
+
+    #[test]
+    fn clmul_simple_products() {
+        // (x+1)(x+1) = x^2 + 1 over GF(2)
+        assert_eq!(clmul(0b11, 0b11), 0b101);
+        // x * (x^2 + x + 1) = x^3 + x^2 + x
+        assert_eq!(clmul(0b10, 0b111), 0b1110);
+        assert_eq!(clmul(0, 12345), 0);
+        assert_eq!(clmul(1, 12345), 12345);
+    }
+
+    #[test]
+    fn pmod_reduces_below_modulus_degree() {
+        // x^3 mod (x^2+x+1) : x^3 = x*(x^2+x+1) + (x^2+x) -> then x^2+x mod = 1
+        let r = pmod(0b1000, 0b111);
+        assert!(degree(r) < 2);
+        assert_eq!(r, 1); // x^3 ≡ 1 mod x^2+x+1 (x has order 3)
+    }
+
+    #[test]
+    fn gcd_of_coprime_is_one() {
+        // x and x+1 are coprime
+        assert_eq!(pgcd(0b10, 0b11), 1);
+        // x^2+1 = (x+1)^2, gcd with x+1 is x+1
+        assert_eq!(pgcd(0b101, 0b11), 0b11);
+    }
+
+    #[test]
+    fn known_irreducibles() {
+        // x^2+x+1, x^3+x+1, x^8+x^4+x^3+x+1 (AES-ish), x^8+x^4+x^3+x^2+1
+        for p in [0b111u128, 0b1011, 0x11B, 0x11D] {
+            assert!(is_irreducible(p), "{p:#x} should be irreducible");
+        }
+    }
+
+    #[test]
+    fn known_reducibles() {
+        // x^2+1 = (x+1)^2 ; x^4+x^2 = x^2(x^2+1); x^2 ; 1 ; 0
+        for p in [0b101u128, 0b10100, 0b100, 0b1, 0b0] {
+            assert!(!is_irreducible(p), "{p:#x} should be reducible");
+        }
+    }
+
+    #[test]
+    fn sqr_mod_matches_mul_mod() {
+        let m = 0x11Bu128;
+        for v in 0..=255u128 {
+            assert_eq!(sqr_mod(v, m), mul_mod(v, v, m));
+        }
+    }
+
+    #[test]
+    fn prime_divisor_sets() {
+        assert_eq!(prime_divisors(1), Vec::<u32>::new());
+        assert_eq!(prime_divisors(2), vec![2]);
+        assert_eq!(prime_divisors(12), vec![2, 3]);
+        assert_eq!(prime_divisors(64), vec![2]);
+        assert_eq!(prime_divisors(60), vec![2, 3, 5]);
+        assert_eq!(prime_divisors(61), vec![61]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Vertex connectivity and vertex-disjoint path routing.
+//!
+//! The paper assumes network connectivity at least `2f + 1`, and Appendix D
+//! uses the classical construction: with `≤ f` faults and `2f + 1`
+//! internally-vertex-disjoint paths between two nodes, sending a copy of a
+//! message along every path and taking the majority at the receiver yields
+//! reliable end-to-end communication between fault-free nodes — a *complete
+//! graph emulation* on which any classic BB protocol can run.
+
+use crate::flow::FlowNet;
+use crate::graph::{DiGraph, NodeId};
+
+/// Large capacity standing in for ∞ in node-split constructions.
+const INF: u64 = u64::MAX / 4;
+
+/// Builds the node-split flow network for internally-vertex-disjoint path
+/// counting: every node `v` becomes `v_in = v`, `v_out = v + n` joined by a
+/// unit arc (infinite for `s`, `t`); every edge `(u, v)` becomes a unit arc
+/// `u_out → v_in`.
+fn split_network(g: &DiGraph, s: NodeId, t: NodeId) -> (FlowNet, Vec<Option<usize>>) {
+    let n = g.node_count();
+    let mut net = FlowNet::new(2 * n);
+    for v in g.nodes() {
+        let cap = if v == s || v == t { INF } else { 1 };
+        net.add_arc(v, v + n, cap);
+    }
+    // Track the arc id for each graph edge so paths can be decoded.
+    let mut edge_arcs = vec![None; g.edges().map(|(id, _)| id + 1).max().unwrap_or(0)];
+    for (id, e) in g.edges() {
+        let arc = net.add_arc(e.src + n, e.dst, 1);
+        edge_arcs[id] = Some(arc);
+    }
+    (net, edge_arcs)
+}
+
+/// The maximum number of internally-vertex-disjoint directed paths from `s`
+/// to `t` (a direct edge counts as one path).
+///
+/// # Panics
+///
+/// Panics if `s` or `t` is inactive or `s == t`.
+pub fn vertex_connectivity_pair(g: &DiGraph, s: NodeId, t: NodeId) -> u64 {
+    assert!(g.is_active(s) && g.is_active(t) && s != t, "bad connectivity query");
+    let n = g.node_count();
+    let (mut net, _) = split_network(g, s, t);
+    net.max_flow(s + n, t)
+}
+
+/// The directed vertex connectivity of the graph: the minimum over all
+/// ordered pairs of active nodes of [`vertex_connectivity_pair`].
+///
+/// Returns `None` with fewer than two active nodes.
+pub fn vertex_connectivity(g: &DiGraph) -> Option<u64> {
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    if nodes.len() < 2 {
+        return None;
+    }
+    let mut best = u64::MAX;
+    for &s in &nodes {
+        for &t in &nodes {
+            if s != t {
+                best = best.min(vertex_connectivity_pair(g, s, t));
+            }
+        }
+    }
+    Some(best)
+}
+
+/// Extracts `k` internally-vertex-disjoint directed paths from `s` to `t`,
+/// each given as the node sequence `s, …, t`.
+///
+/// Returns `None` if fewer than `k` disjoint paths exist.
+///
+/// # Panics
+///
+/// Panics if `s` or `t` is inactive or `s == t`.
+pub fn vertex_disjoint_paths(
+    g: &DiGraph,
+    s: NodeId,
+    t: NodeId,
+    k: usize,
+) -> Option<Vec<Vec<NodeId>>> {
+    assert!(g.is_active(s) && g.is_active(t) && s != t, "bad path query");
+    let n = g.node_count();
+    let (mut net, edge_arcs) = split_network(g, s, t);
+    let flow = net.max_flow(s + n, t);
+    if (flow as usize) < k {
+        return None;
+    }
+
+    // Successor map via flow decomposition: for each node u with flow
+    // leaving u_out, record which edges carry flow.
+    let mut flow_out: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (id, e) in g.edges() {
+        if let Some(arc) = edge_arcs[id] {
+            let f = net.flow_on(arc);
+            debug_assert!(f <= 1);
+            if f == 1 {
+                flow_out[e.src].push(e.dst);
+            }
+        }
+    }
+
+    let mut paths = Vec::with_capacity(k);
+    for _ in 0..k {
+        let mut path = vec![s];
+        let mut cur = s;
+        loop {
+            let next = flow_out[cur].pop().expect("flow decomposition ran dry");
+            path.push(next);
+            if next == t {
+                break;
+            }
+            cur = next;
+        }
+        paths.push(path);
+    }
+    Some(paths)
+}
+
+/// Checks the existence conditions for Byzantine broadcast from the paper's
+/// system model: `n ≥ 3f + 1` active nodes and vertex connectivity
+/// `≥ 2f + 1`.
+pub fn supports_byzantine_broadcast(g: &DiGraph, f: usize) -> bool {
+    let n = g.active_count();
+    if n < 3 * f + 1 {
+        return false;
+    }
+    if n < 2 {
+        return f == 0;
+    }
+    vertex_connectivity(g).is_some_and(|k| k >= (2 * f + 1) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn complete_graph_connectivity_is_n_minus_1() {
+        let g = gen::complete(5, 1);
+        assert_eq!(vertex_connectivity(&g), Some(4));
+    }
+
+    #[test]
+    fn path_graph_connectivity_is_1() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 1, 1);
+        g.add_edge(1, 0, 1);
+        assert_eq!(vertex_connectivity(&g), Some(1));
+    }
+
+    #[test]
+    fn disjoint_paths_in_complete_graph() {
+        let g = gen::complete(6, 1);
+        let paths = vertex_disjoint_paths(&g, 0, 5, 5).expect("K6 has 5 disjoint paths");
+        assert_eq!(paths.len(), 5);
+        // Internal nodes must be distinct across paths.
+        let mut seen = std::collections::HashSet::new();
+        for p in &paths {
+            assert_eq!(*p.first().unwrap(), 0);
+            assert_eq!(*p.last().unwrap(), 5);
+            for &v in &p[1..p.len() - 1] {
+                assert!(seen.insert(v), "internal node {v} reused");
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_paths_paths_are_edges() {
+        let g = gen::complete(4, 1);
+        let paths = vertex_disjoint_paths(&g, 0, 3, 3).unwrap();
+        for p in &paths {
+            for w in p.windows(2) {
+                assert!(g.find_edge(w[0], w[1]).is_some(), "non-edge {w:?} in path");
+            }
+        }
+    }
+
+    #[test]
+    fn too_many_paths_requested_returns_none() {
+        let g = gen::complete(4, 1);
+        assert!(vertex_disjoint_paths(&g, 0, 3, 4).is_none());
+    }
+
+    #[test]
+    fn bb_support_conditions() {
+        // K4 supports f=1 (n=4≥4, κ=3≥3) but not f=2.
+        let g = gen::complete(4, 1);
+        assert!(supports_byzantine_broadcast(&g, 1));
+        assert!(!supports_byzantine_broadcast(&g, 2));
+        // K7 supports f=2 (n=7≥7, κ=6≥5).
+        let g7 = gen::complete(7, 1);
+        assert!(supports_byzantine_broadcast(&g7, 2));
+    }
+
+    #[test]
+    fn connectivity_pair_counts_direct_edge() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 2, 1); // direct
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, 1); // via node 1
+        assert_eq!(vertex_connectivity_pair(&g, 0, 2), 2);
+    }
+}

@@ -1,0 +1,346 @@
+//! Max-flow / min-cut (Dinic's algorithm) and the broadcast rate `γ`.
+//!
+//! `MINCUT(G, 1, j)` is the paper's notation for the s–t min cut from the
+//! source to node `j`; the Phase-1 broadcast rate is
+//! `γ_k = min_{j ∈ V_k} MINCUT(G_k, 1, j)` (Section 2), and the
+//! equality-check parameter comes from pairwise min cuts of undirected
+//! views (Section 3).
+
+use std::collections::BTreeSet;
+
+use crate::graph::{DiGraph, NodeId};
+use crate::undirected::UnGraph;
+
+/// A reusable Dinic max-flow solver over an explicit arc list.
+///
+/// Build with [`FlowNet::new`], add arcs, then call [`FlowNet::max_flow`].
+/// Residual state persists between calls, so create a fresh net per query.
+#[derive(Debug, Clone)]
+pub struct FlowNet {
+    n: usize,
+    // arcs[i] and arcs[i^1] are a residual pair.
+    to: Vec<usize>,
+    cap: Vec<u64>,
+    head: Vec<Vec<usize>>, // arc indices per node
+}
+
+impl FlowNet {
+    /// An empty flow network over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        FlowNet {
+            n,
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds a directed arc `u → v` with the given capacity (and its zero
+    /// residual reverse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn add_arc(&mut self, u: usize, v: usize, cap: u64) -> usize {
+        assert!(u < self.n && v < self.n, "arc endpoint out of range");
+        let id = self.to.len();
+        self.to.push(v);
+        self.cap.push(cap);
+        self.head[u].push(id);
+        self.to.push(u);
+        self.cap.push(0);
+        self.head[v].push(id + 1);
+        id
+    }
+
+    /// Remaining capacity of the arc returned by [`FlowNet::add_arc`].
+    pub fn residual(&self, arc: usize) -> u64 {
+        self.cap[arc]
+    }
+
+    /// Flow pushed through the arc returned by [`FlowNet::add_arc`]
+    /// (capacity of its reverse twin).
+    pub fn flow_on(&self, arc: usize) -> u64 {
+        self.cap[arc ^ 1]
+    }
+
+    fn bfs_levels(&self, s: usize, t: usize) -> Option<Vec<i32>> {
+        let mut level = vec![-1i32; self.n];
+        let mut q = std::collections::VecDeque::new();
+        level[s] = 0;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &a in &self.head[u] {
+                let v = self.to[a];
+                if self.cap[a] > 0 && level[v] < 0 {
+                    level[v] = level[u] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        (level[t] >= 0).then_some(level)
+    }
+
+    fn dfs_push(
+        &mut self,
+        u: usize,
+        t: usize,
+        pushed: u64,
+        level: &[i32],
+        it: &mut [usize],
+    ) -> u64 {
+        if u == t {
+            return pushed;
+        }
+        while it[u] < self.head[u].len() {
+            let a = self.head[u][it[u]];
+            let v = self.to[a];
+            if self.cap[a] > 0 && level[v] == level[u] + 1 {
+                let d = self.dfs_push(v, t, pushed.min(self.cap[a]), level, it);
+                if d > 0 {
+                    self.cap[a] -= d;
+                    self.cap[a ^ 1] += d;
+                    return d;
+                }
+            }
+            it[u] += 1;
+        }
+        0
+    }
+
+    /// Computes the max flow from `s` to `t`, consuming residual capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either is out of range.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> u64 {
+        assert!(s < self.n && t < self.n && s != t, "bad flow endpoints");
+        let mut total = 0u64;
+        while let Some(level) = self.bfs_levels(s, t) {
+            let mut it = vec![0usize; self.n];
+            loop {
+                let pushed = self.dfs_push(s, t, u64::MAX, &level, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+        total
+    }
+
+    /// After [`FlowNet::max_flow`], the set of nodes reachable from `s` in
+    /// the residual graph — the source side of a minimum cut.
+    pub fn source_side(&self, s: usize) -> BTreeSet<usize> {
+        let mut seen = vec![false; self.n];
+        seen[s] = true;
+        let mut stack = vec![s];
+        while let Some(u) = stack.pop() {
+            for &a in &self.head[u] {
+                let v = self.to[a];
+                if self.cap[a] > 0 && !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        (0..self.n).filter(|&v| seen[v]).collect()
+    }
+}
+
+/// `MINCUT(G, s, t)`: the max-flow value from `s` to `t` in the directed
+/// capacitated graph.
+///
+/// # Panics
+///
+/// Panics if `s` or `t` is inactive, or `s == t`.
+pub fn min_cut(g: &DiGraph, s: NodeId, t: NodeId) -> u64 {
+    assert!(g.is_active(s) && g.is_active(t), "min_cut endpoints must be active");
+    let mut net = FlowNet::new(g.node_count());
+    for (_, e) in g.edges() {
+        net.add_arc(e.src, e.dst, e.cap);
+    }
+    net.max_flow(s, t)
+}
+
+/// The broadcast rate `γ = min_{j} MINCUT(G, s, j)` over all active `j ≠ s`.
+///
+/// Returns 0 if some node is unreachable. By the max-flow/min-cut theorem
+/// and Edmonds' theorem this is the highest rate at which `s` can stream
+/// data to *all* other nodes simultaneously (Appendix A).
+///
+/// # Panics
+///
+/// Panics if `s` is inactive.
+pub fn broadcast_rate(g: &DiGraph, s: NodeId) -> u64 {
+    assert!(g.is_active(s), "source must be active");
+    g.nodes()
+        .filter(|&j| j != s)
+        .map(|j| min_cut(g, s, j))
+        .min()
+        .unwrap_or(0)
+}
+
+/// `MINCUT(H̄, s, t)` in an undirected capacitated graph.
+///
+/// # Panics
+///
+/// Panics if `s` or `t` is inactive, or `s == t`.
+pub fn min_cut_undirected(u: &UnGraph, s: NodeId, t: NodeId) -> u64 {
+    assert!(u.is_active(s) && u.is_active(t), "min_cut endpoints must be active");
+    let mut net = FlowNet::new(u.node_count());
+    for (_, e) in u.edges() {
+        // An undirected edge behaves as a pair of independent antiparallel
+        // arcs for max-flow purposes.
+        net.add_arc(e.a, e.b, e.cap);
+        net.add_arc(e.b, e.a, e.cap);
+    }
+    net.max_flow(s, t)
+}
+
+/// The minimum over all pairs of active nodes of the undirected min cut —
+/// the quantity `U_H = min_{i,j∈H} MINCUT(H̄, i, j)` from Section 3.
+///
+/// Returns `None` when fewer than two nodes are active.
+pub fn min_pairwise_cut_undirected(u: &UnGraph) -> Option<u64> {
+    let nodes: Vec<NodeId> = u.nodes().collect();
+    if nodes.len() < 2 {
+        return None;
+    }
+    let mut best = u64::MAX;
+    // Undirected global pairwise min cut: fixing one endpoint suffices
+    // (the minimizing pair (i, j) is separated by some cut, and any fixed
+    // vertex lies on one side of it, paired against a vertex on the other).
+    let s = nodes[0];
+    for &t in &nodes[1..] {
+        best = best.min(min_cut_undirected(u, s, t));
+    }
+    Some(best)
+}
+
+/// The source side of a minimum `s`–`t` cut in an undirected graph
+/// (used to construct the partition attacks of Theorem 2's proof).
+pub fn min_cut_partition_undirected(
+    u: &UnGraph,
+    s: NodeId,
+    t: NodeId,
+) -> (BTreeSet<NodeId>, BTreeSet<NodeId>) {
+    let mut net = FlowNet::new(u.node_count());
+    for (_, e) in u.edges() {
+        net.add_arc(e.a, e.b, e.cap);
+        net.add_arc(e.b, e.a, e.cap);
+    }
+    net.max_flow(s, t);
+    let raw = net.source_side(s);
+    let left: BTreeSet<NodeId> = u.nodes().filter(|v| raw.contains(v)).collect();
+    let right: BTreeSet<NodeId> = u.nodes().filter(|v| !raw.contains(v)).collect();
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The directed graph of Figure 1(a): 4 nodes, capacities as printed.
+    /// (Edge list reconstructed so that MINCUT(1,2)=MINCUT(1,4)=2,
+    /// MINCUT(1,3)=3, γ=2, matching the paper's stated values.)
+    fn figure_1a() -> DiGraph {
+        crate::gen::figure_1a()
+    }
+
+    #[test]
+    fn figure_1a_mincuts_match_paper() {
+        let g = figure_1a();
+        // Paper: MINCUT(G,1,2) = MINCUT(G,1,4) = 2, MINCUT(G,1,3) = 3, γ = 2.
+        assert_eq!(min_cut(&g, 0, 1), 2);
+        assert_eq!(min_cut(&g, 0, 3), 2);
+        assert_eq!(min_cut(&g, 0, 2), 3);
+        assert_eq!(broadcast_rate(&g, 0), 2);
+    }
+
+    #[test]
+    fn simple_path_flow() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1, 5);
+        g.add_edge(1, 2, 3);
+        assert_eq!(min_cut(&g, 0, 2), 3);
+        assert_eq!(broadcast_rate(&g, 0), 3);
+    }
+
+    #[test]
+    fn parallel_paths_add() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1, 2);
+        g.add_edge(1, 3, 2);
+        g.add_edge(0, 2, 3);
+        g.add_edge(2, 3, 3);
+        assert_eq!(min_cut(&g, 0, 3), 5);
+    }
+
+    #[test]
+    fn unreachable_node_gives_zero_rate() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1, 1);
+        // node 2 unreachable
+        assert_eq!(broadcast_rate(&g, 0), 0);
+    }
+
+    #[test]
+    fn undirected_cut_counts_both_directions() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1, 2);
+        g.add_edge(1, 0, 3);
+        let u = UnGraph::from_digraph(&g);
+        assert_eq!(min_cut_undirected(&u, 0, 1), 5);
+        assert_eq!(min_pairwise_cut_undirected(&u), Some(5));
+    }
+
+    #[test]
+    fn pairwise_cut_on_ring() {
+        // 4-cycle with unit capacities: every pairwise cut is 2.
+        let mut u = UnGraph::new(4);
+        u.add_edge(0, 1, 1);
+        u.add_edge(1, 2, 1);
+        u.add_edge(2, 3, 1);
+        u.add_edge(3, 0, 1);
+        assert_eq!(min_pairwise_cut_undirected(&u), Some(2));
+    }
+
+    #[test]
+    fn min_cut_partition_separates_endpoints() {
+        let mut u = UnGraph::new(4);
+        u.add_edge(0, 1, 1);
+        u.add_edge(1, 2, 1);
+        u.add_edge(2, 3, 1);
+        let (l, r) = min_cut_partition_undirected(&u, 0, 3);
+        assert!(l.contains(&0) && r.contains(&3));
+        assert_eq!(l.len() + r.len(), 4);
+    }
+
+    #[test]
+    fn source_side_after_maxflow_is_min_cut() {
+        // Bottleneck edge 1->2 with cap 1.
+        let mut net = FlowNet::new(4);
+        net.add_arc(0, 1, 10);
+        let bottleneck = net.add_arc(1, 2, 1);
+        net.add_arc(2, 3, 10);
+        assert_eq!(net.max_flow(0, 3), 1);
+        assert_eq!(net.flow_on(bottleneck), 1);
+        assert_eq!(net.residual(bottleneck), 0);
+        let side = net.source_side(0);
+        assert!(side.contains(&0) && side.contains(&1));
+        assert!(!side.contains(&2) && !side.contains(&3));
+    }
+
+    #[test]
+    fn flow_respects_inactive_nodes() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 3, 1);
+        g.add_edge(0, 2, 1);
+        g.add_edge(2, 3, 1);
+        assert_eq!(min_cut(&g, 0, 3), 2);
+        g.remove_node(1);
+        assert_eq!(min_cut(&g, 0, 3), 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! Graph generators: the paper's worked examples plus families used by the
+//! experiments.
+
+use rand::Rng;
+
+use crate::graph::DiGraph;
+
+/// The 4-node directed graph of Figure 1(a).
+///
+/// Reconstructed from the constraints the paper states for it:
+/// `MINCUT(G,1,2) = MINCUT(G,1,4) = 2`, `MINCUT(G,1,3) = 3`, hence `γ = 2`;
+/// no link between nodes 2 and 4; and after nodes 2 and 3 are found in
+/// dispute (Figure 1(b)), the two candidate fault-free subgraphs
+/// `{1,2,4}` and `{1,3,4}` have `U_k = 2`.
+///
+/// Node ids are zero-based: paper node `i` is `i − 1` here.
+pub fn figure_1a() -> DiGraph {
+    let mut g = DiGraph::new(4);
+    g.add_edge(0, 1, 2); // 1 -> 2, cap 2
+    g.add_edge(0, 2, 2); // 1 -> 3, cap 2
+    g.add_edge(0, 3, 1); // 1 -> 4, cap 1
+    g.add_edge(1, 2, 1); // 2 -> 3, cap 1
+    g.add_edge(2, 3, 1); // 3 -> 4, cap 1
+    g.add_edge(3, 0, 1); // 4 -> 1, cap 1
+    g
+}
+
+/// Figure 1(b): the graph of Figure 1(a) after nodes 2 and 3 (ids 1 and 2)
+/// have been found in dispute, removing the links between them.
+pub fn figure_1b() -> DiGraph {
+    let mut g = figure_1a();
+    g.remove_edges_between(1, 2);
+    g
+}
+
+/// The 4-node directed graph of Figure 2(a).
+///
+/// Reconstructed from the paper's description of Figure 2(c): `γ = 2` and
+/// two unit-capacity spanning trees embed in the graph with link (1,2) used
+/// by both (so `z_(1,2) = 2`); and of Figure 2(d)/Appendix C.3: directed
+/// edges (2,3), (1,4), (4,3) exist and their undirected versions form a
+/// spanning tree of the undirected view.
+pub fn figure_2a() -> DiGraph {
+    let mut g = DiGraph::new(4);
+    g.add_edge(0, 1, 2); // 1 -> 2, cap 2 (used by both spanning trees)
+    g.add_edge(1, 2, 1); // 2 -> 3
+    g.add_edge(1, 3, 1); // 2 -> 4
+    g.add_edge(0, 3, 1); // 1 -> 4
+    g.add_edge(3, 2, 1); // 4 -> 3
+    g
+}
+
+/// The complete digraph on `n` nodes with uniform link capacity `cap`.
+pub fn complete(n: usize, cap: u64) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                g.add_edge(i, j, cap);
+            }
+        }
+    }
+    g
+}
+
+/// A complete digraph with capacities drawn uniformly from
+/// `lo..=hi` — the heterogeneous-capacity setting where capacity-oblivious
+/// protocols lose badly (Section 1).
+pub fn complete_heterogeneous<R: Rng + ?Sized>(n: usize, lo: u64, hi: u64, rng: &mut R) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                g.add_edge(i, j, rng.gen_range(lo..=hi));
+            }
+        }
+    }
+    g
+}
+
+/// A bidirectional ring on `n` nodes with uniform capacity.
+pub fn ring(n: usize, cap: u64) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        g.add_edge(i, j, cap);
+        g.add_edge(j, i, cap);
+    }
+    g
+}
+
+/// A random digraph: every ordered pair gets an edge with probability `p`
+/// and capacity uniform in `1..=max_cap`; a bidirectional unit-capacity ring
+/// is always included so the graph is strongly connected.
+pub fn random_connected<R: Rng + ?Sized>(
+    n: usize,
+    p: f64,
+    max_cap: u64,
+    rng: &mut R,
+) -> DiGraph {
+    let mut g = DiGraph::new(n);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        if g.find_edge(i, j).is_none() {
+            g.add_edge(i, j, rng.gen_range(1..=max_cap));
+        }
+        if g.find_edge(j, i).is_none() {
+            g.add_edge(j, i, rng.gen_range(1..=max_cap));
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && g.find_edge(i, j).is_none() && rng.gen_bool(p) {
+                g.add_edge(i, j, rng.gen_range(1..=max_cap));
+            }
+        }
+    }
+    g
+}
+
+/// A "barbell": two complete clusters of size `half` joined by `bridges`
+/// bidirectional links of capacity `bridge_cap` — a family whose broadcast
+/// rate is throttled by the bridge, used to stress capacity-awareness.
+pub fn barbell(half: usize, cluster_cap: u64, bridges: usize, bridge_cap: u64) -> DiGraph {
+    assert!(bridges <= half, "at most one bridge per node pair");
+    let n = 2 * half;
+    let mut g = DiGraph::new(n);
+    for i in 0..half {
+        for j in 0..half {
+            if i != j {
+                g.add_edge(i, j, cluster_cap);
+                g.add_edge(half + i, half + j, cluster_cap);
+            }
+        }
+    }
+    for b in 0..bridges {
+        g.add_edge(b, half + b, bridge_cap);
+        g.add_edge(half + b, b, bridge_cap);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::vertex_connectivity;
+    use crate::flow::{broadcast_rate, min_cut};
+
+    #[test]
+    fn figure_1a_satisfies_all_stated_constraints() {
+        let g = figure_1a();
+        assert_eq!(min_cut(&g, 0, 1), 2);
+        assert_eq!(min_cut(&g, 0, 2), 3);
+        assert_eq!(min_cut(&g, 0, 3), 2);
+        assert_eq!(broadcast_rate(&g, 0), 2);
+        // No link between paper-nodes 2 and 4 (ids 1 and 3).
+        assert!(g.find_edge(1, 3).is_none());
+        assert!(g.find_edge(3, 1).is_none());
+    }
+
+    #[test]
+    fn figure_1b_drops_the_disputed_links() {
+        let g = figure_1b();
+        assert!(g.find_edge(1, 2).is_none());
+        // Still broadcasts at rate 2.
+        assert_eq!(broadcast_rate(&g, 0), 2);
+    }
+
+    #[test]
+    fn figure_2a_has_gamma_2() {
+        let g = figure_2a();
+        assert_eq!(broadcast_rate(&g, 0), 2);
+        assert_eq!(g.find_edge(0, 1).unwrap().1.cap, 2);
+    }
+
+    #[test]
+    fn complete_graph_counts() {
+        let g = complete(5, 2);
+        assert_eq!(g.edge_count(), 20);
+        assert_eq!(broadcast_rate(&g, 0), 8); // (n-1) * cap on in-cut
+        assert_eq!(vertex_connectivity(&g), Some(4));
+    }
+
+    #[test]
+    fn ring_has_rate_cap_times_two() {
+        let g = ring(5, 3);
+        assert_eq!(broadcast_rate(&g, 0), 6);
+    }
+
+    #[test]
+    fn barbell_rate_is_bridge_limited() {
+        let g = barbell(3, 10, 1, 1);
+        // Crossing to the far cluster passes the single unit bridge.
+        assert_eq!(broadcast_rate(&g, 0), 1);
+    }
+
+    #[test]
+    fn random_connected_is_strongly_connected() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let g = random_connected(7, 0.3, 4, &mut rng);
+            for s in 0..7 {
+                assert!(g.all_reachable_from(s));
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_capacities_in_range() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = complete_heterogeneous(4, 2, 9, &mut rng);
+        for (_, e) in g.edges() {
+            assert!((2..=9).contains(&e.cap));
+        }
+    }
+}

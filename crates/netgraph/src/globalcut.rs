@@ -1,0 +1,171 @@
+//! Stoer–Wagner global minimum cut for undirected capacitated graphs.
+//!
+//! `U_k` asks for the minimum over *all pairs* of undirected min cuts in
+//! every candidate subgraph — exactly the global min cut. Stoer–Wagner
+//! computes it in `O(V³)` instead of `V` max-flow runs, which matters
+//! because `Ω_k` contains `C(n, n−f)` subgraphs.
+
+use std::collections::BTreeSet;
+
+use crate::graph::NodeId;
+use crate::undirected::UnGraph;
+
+/// The global minimum cut value of the active part of `u`, with one side
+/// of an optimal cut.
+///
+/// Returns `None` when fewer than two nodes are active. A disconnected
+/// graph returns `Some((0, …))`.
+pub fn global_min_cut(u: &UnGraph) -> Option<(u64, BTreeSet<NodeId>)> {
+    let nodes: Vec<NodeId> = u.nodes().collect();
+    let n = nodes.len();
+    if n < 2 {
+        return None;
+    }
+    // Dense working copy over compact indices; `groups[i]` tracks which
+    // original nodes have been merged into slot i.
+    let idx_of = |v: NodeId| nodes.iter().position(|&x| x == v).unwrap();
+    let mut w = vec![vec![0u64; n]; n];
+    for (_, e) in u.edges() {
+        let (a, b) = (idx_of(e.a), idx_of(e.b));
+        w[a][b] += e.cap;
+        w[b][a] += e.cap;
+    }
+    let mut groups: Vec<Vec<NodeId>> = nodes.iter().map(|&v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+
+    let mut best: Option<(u64, BTreeSet<NodeId>)> = None;
+
+    while active.len() > 1 {
+        // Maximum-adjacency (minimum-cut-phase) ordering.
+        let mut in_a = vec![false; n];
+        let mut weights = vec![0u64; n];
+        let mut order = Vec::with_capacity(active.len());
+        for _ in 0..active.len() {
+            // Pick the most tightly connected remaining vertex.
+            let &next = active
+                .iter()
+                .filter(|&&v| !in_a[v])
+                .max_by_key(|&&v| weights[v])
+                .expect("active vertex remains");
+            in_a[next] = true;
+            order.push(next);
+            for &v in &active {
+                if !in_a[v] {
+                    weights[v] += w[next][v];
+                }
+            }
+        }
+        let t = *order.last().unwrap();
+        let s = order[order.len() - 2];
+        // Cut-of-the-phase: t alone against the rest.
+        let cut_value = active.iter().filter(|&&v| v != t).map(|&v| w[t][v]).sum();
+        let side: BTreeSet<NodeId> = groups[t].iter().copied().collect();
+        if best.as_ref().is_none_or(|(b, _)| cut_value < *b) {
+            best = Some((cut_value, side));
+        }
+        // Merge t into s.
+        let t_group = std::mem::take(&mut groups[t]);
+        groups[s].extend(t_group);
+        for &v in &active {
+            if v != s && v != t {
+                w[s][v] += w[t][v];
+                w[v][s] = w[s][v];
+            }
+        }
+        active.retain(|&v| v != t);
+    }
+
+    best
+}
+
+/// Convenience: just the global min-cut value.
+pub fn global_min_cut_value(u: &UnGraph) -> Option<u64> {
+    global_min_cut(u).map(|(v, _)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::min_cut_undirected;
+    use crate::gen;
+    use crate::undirected::UnGraph;
+
+    /// Oracle: min over all pairs of s–t max-flow cuts.
+    fn brute_force(u: &UnGraph) -> Option<u64> {
+        let nodes: Vec<_> = u.nodes().collect();
+        if nodes.len() < 2 {
+            return None;
+        }
+        let mut best = u64::MAX;
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                best = best.min(min_cut_undirected(u, nodes[i], nodes[j]));
+            }
+        }
+        Some(best)
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(1234);
+        for _ in 0..20 {
+            let g = gen::random_connected(7, 0.5, 4, &mut rng);
+            let u = UnGraph::from_digraph(&g);
+            assert_eq!(global_min_cut_value(&u), brute_force(&u), "graph {u:?}");
+        }
+    }
+
+    #[test]
+    fn cut_side_is_proper_and_achieves_value() {
+        let u = UnGraph::from_digraph(&gen::complete(5, 2));
+        let (value, side) = global_min_cut(&u).unwrap();
+        assert!(!side.is_empty() && side.len() < 5);
+        // Sum of capacities crossing the side must equal the cut value.
+        let crossing: u64 = u
+            .edges()
+            .filter(|(_, e)| side.contains(&e.a) != side.contains(&e.b))
+            .map(|(_, e)| e.cap)
+            .sum();
+        assert_eq!(crossing, value);
+    }
+
+    #[test]
+    fn paper_example_cut() {
+        // Figure 1(a) undirected: global min cut is min over pairs; the
+        // thin corner (node 2 or 4, degree-limited) gives the value.
+        let u = UnGraph::from_digraph(&gen::figure_1a());
+        assert_eq!(global_min_cut_value(&u), brute_force(&u));
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_cut() {
+        let mut u = UnGraph::new(4);
+        u.add_edge(0, 1, 3);
+        u.add_edge(2, 3, 3);
+        assert_eq!(global_min_cut_value(&u), Some(0));
+    }
+
+    #[test]
+    fn two_nodes_cut_is_edge_capacity() {
+        let mut u = UnGraph::new(2);
+        u.add_edge(0, 1, 7);
+        assert_eq!(global_min_cut_value(&u), Some(7));
+    }
+
+    #[test]
+    fn single_node_is_none() {
+        let u = UnGraph::new(1);
+        assert_eq!(global_min_cut_value(&u), None);
+    }
+
+    #[test]
+    fn respects_inactive_nodes() {
+        let mut g = gen::complete(5, 1);
+        g.remove_node(4);
+        let u = UnGraph::from_digraph(&g);
+        // K4 with doubled caps (2 per undirected edge): global cut = 6.
+        assert_eq!(global_min_cut_value(&u), Some(6));
+    }
+}

@@ -1,0 +1,228 @@
+//! Gomory–Hu trees (Gusfield's algorithm): the all-pairs min-cut structure
+//! of an undirected capacitated graph in `n − 1` max-flow computations.
+//!
+//! `U_H = min_{i,j} MINCUT(H̄, i, j)` only needs the global minimum (see
+//! [`crate::globalcut`]), but capacity *analysis* wants more: which pair of
+//! nodes is binding, and how much headroom every other pair has. A
+//! Gomory–Hu tree answers every pairwise min-cut query from `n − 1` stored
+//! cuts: `MINCUT(i, j)` equals the minimum edge weight on the unique
+//! `i`–`j` tree path.
+
+use std::collections::BTreeMap;
+
+use crate::flow::FlowNet;
+use crate::graph::NodeId;
+use crate::undirected::UnGraph;
+
+/// A Gomory–Hu (equivalent-flow) tree over the active nodes of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GomoryHuTree {
+    /// Active nodes in the order used by the tree arrays.
+    nodes: Vec<NodeId>,
+    /// `parent[i]` — index into `nodes` of the tree parent (root: itself).
+    parent: Vec<usize>,
+    /// `weight[i]` — min-cut value between `nodes[i]` and its parent.
+    weight: Vec<u64>,
+}
+
+impl GomoryHuTree {
+    /// Builds the tree with Gusfield's algorithm (`n − 1` max flows, no
+    /// node contraction).
+    ///
+    /// Returns `None` when fewer than two nodes are active.
+    pub fn build(u: &UnGraph) -> Option<Self> {
+        let nodes: Vec<NodeId> = u.nodes().collect();
+        let n = nodes.len();
+        if n < 2 {
+            return None;
+        }
+        let mut parent = vec![0usize; n];
+        let mut weight = vec![0u64; n];
+
+        for i in 1..n {
+            let (cut, source_side) = st_cut(u, nodes[i], nodes[parent[i]]);
+            weight[i] = cut;
+            for j in (i + 1)..n {
+                if parent[j] == parent[i] && source_side.contains(&nodes[j]) {
+                    parent[j] = i;
+                }
+            }
+        }
+        Some(GomoryHuTree {
+            nodes,
+            parent,
+            weight,
+        })
+    }
+
+    /// The tree's node set.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Tree edges as `(a, b, min_cut)` triples.
+    pub fn edges(&self) -> Vec<(NodeId, NodeId, u64)> {
+        (1..self.nodes.len())
+            .map(|i| (self.nodes[i], self.nodes[self.parent[i]], self.weight[i]))
+            .collect()
+    }
+
+    /// `MINCUT(a, b)` from the tree: the minimum edge weight on the `a`–`b`
+    /// tree path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is not a tree node, or `a == b`.
+    pub fn min_cut(&self, a: NodeId, b: NodeId) -> u64 {
+        assert_ne!(a, b, "min cut of a node with itself is undefined");
+        let idx = |v: NodeId| {
+            self.nodes
+                .iter()
+                .position(|&x| x == v)
+                .unwrap_or_else(|| panic!("node {v} not in tree"))
+        };
+        // Walk both nodes to the root, tracking the minimum edge seen.
+        let (mut x, mut y) = (idx(a), idx(b));
+        let depth = |mut v: usize| {
+            let mut d = 0;
+            while self.parent[v] != v {
+                v = self.parent[v];
+                d += 1;
+            }
+            d
+        };
+        let (mut dx, mut dy) = (depth(x), depth(y));
+        let mut best = u64::MAX;
+        while dx > dy {
+            best = best.min(self.weight[x]);
+            x = self.parent[x];
+            dx -= 1;
+        }
+        while dy > dx {
+            best = best.min(self.weight[y]);
+            y = self.parent[y];
+            dy -= 1;
+        }
+        while x != y {
+            best = best.min(self.weight[x].min(self.weight[y]));
+            x = self.parent[x];
+            y = self.parent[y];
+        }
+        best
+    }
+
+    /// The globally binding pair: the tree edge of minimum weight, i.e.
+    /// the graph's global min cut and a pair achieving it.
+    pub fn binding_pair(&self) -> (NodeId, NodeId, u64) {
+        let i = (1..self.nodes.len())
+            .min_by_key(|&i| self.weight[i])
+            .expect("tree has an edge");
+        (self.nodes[i], self.nodes[self.parent[i]], self.weight[i])
+    }
+
+    /// All pairwise min cuts as a map (test/report helper; `O(n²)` tree
+    /// walks).
+    pub fn all_pairs(&self) -> BTreeMap<(NodeId, NodeId), u64> {
+        let mut out = BTreeMap::new();
+        for (i, &a) in self.nodes.iter().enumerate() {
+            for &b in &self.nodes[i + 1..] {
+                out.insert((a, b), self.min_cut(a, b));
+            }
+        }
+        out
+    }
+}
+
+/// One s–t max flow on the undirected graph, returning the cut value and
+/// the source-side node set.
+fn st_cut(u: &UnGraph, s: NodeId, t: NodeId) -> (u64, Vec<NodeId>) {
+    let mut net = FlowNet::new(u.node_count());
+    for (_, e) in u.edges() {
+        net.add_arc(e.a, e.b, e.cap);
+        net.add_arc(e.b, e.a, e.cap);
+    }
+    let cut = net.max_flow(s, t);
+    let raw = net.source_side(s);
+    let side = u.nodes().filter(|v| raw.contains(v)).collect();
+    (cut, side)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::min_cut_undirected;
+    use crate::gen;
+    use crate::globalcut::global_min_cut_value;
+
+    #[test]
+    fn all_pairs_match_direct_max_flow() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(404);
+        for _ in 0..12 {
+            let g = gen::random_connected(6, 0.5, 4, &mut rng);
+            let u = UnGraph::from_digraph(&g);
+            let tree = GomoryHuTree::build(&u).unwrap();
+            for ((a, b), via_tree) in tree.all_pairs() {
+                let direct = min_cut_undirected(&u, a, b);
+                assert_eq!(via_tree, direct, "pair ({a},{b}) on {u:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn binding_pair_matches_global_min_cut() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let g = gen::random_connected(7, 0.4, 3, &mut rng);
+            let u = UnGraph::from_digraph(&g);
+            let tree = GomoryHuTree::build(&u).unwrap();
+            let (_, _, w) = tree.binding_pair();
+            assert_eq!(Some(w), global_min_cut_value(&u));
+        }
+    }
+
+    #[test]
+    fn tree_has_n_minus_1_edges() {
+        let u = UnGraph::from_digraph(&gen::complete(5, 2));
+        let tree = GomoryHuTree::build(&u).unwrap();
+        assert_eq!(tree.edges().len(), 4);
+        assert_eq!(tree.nodes().len(), 5);
+    }
+
+    #[test]
+    fn figure_1b_binding_pair_is_the_uk_pair() {
+        // On Figure 1(b)'s subgraph {1,2,4} the binding cut is 2 = U_k.
+        let g = gen::figure_1b();
+        let sub = g.induced_subgraph(&std::collections::BTreeSet::from([0, 1, 3]));
+        let u = UnGraph::from_digraph(&sub);
+        let tree = GomoryHuTree::build(&u).unwrap();
+        let (_, _, w) = tree.binding_pair();
+        assert_eq!(w, 2);
+    }
+
+    #[test]
+    fn single_node_returns_none() {
+        assert!(GomoryHuTree::build(&UnGraph::new(1)).is_none());
+    }
+
+    #[test]
+    fn respects_inactive_nodes() {
+        let mut g = gen::complete(5, 1);
+        g.remove_node(2);
+        let u = UnGraph::from_digraph(&g);
+        let tree = GomoryHuTree::build(&u).unwrap();
+        assert_eq!(tree.nodes().len(), 4);
+        assert!(!tree.nodes().contains(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn self_query_panics() {
+        let u = UnGraph::from_digraph(&gen::complete(3, 1));
+        let tree = GomoryHuTree::build(&u).unwrap();
+        let _ = tree.min_cut(1, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! Capacitated graphs, flows, connectivity, and tree packings for NAB.
+//!
+//! The paper's network model is a directed simple graph `G(V, E)` where each
+//! directed link `e` has an integer capacity `z_e` (bits per unit time).
+//! Everything NAB needs from graph theory lives here:
+//!
+//! - [`graph::DiGraph`] / [`undirected::UnGraph`] — the two graph views of a
+//!   network (Figure 2 of the paper),
+//! - [`flow`] — Dinic max-flow, `MINCUT(G, s, t)`, and the broadcast rate
+//!   `γ = min_j MINCUT(G, 1, j)`,
+//! - [`connectivity`] — directed vertex connectivity and vertex-disjoint
+//!   path extraction (used to emulate a complete graph over a
+//!   `2f+1`-connected network),
+//! - [`arborescence`] — Edmonds-style packing of `γ` capacity-respecting
+//!   spanning arborescences (Phase 1 unreliable broadcast, Appendix A),
+//! - [`treepack`] — matroid-union packing of `⌊U/2⌋` undirected spanning
+//!   trees (the structure underlying Theorem 1, Appendix C),
+//! - [`globalcut`] — Stoer–Wagner global min cut (the all-pairs minimum
+//!   `U_H` in one `O(V³)` pass instead of `V` max-flows),
+//! - [`gomoryhu`] — Gomory–Hu trees for the full all-pairs min-cut
+//!   structure (which pair is binding, and by how much),
+//! - [`gen`] — graph generators, including the paper's worked examples.
+
+pub mod arborescence;
+pub mod connectivity;
+pub mod flow;
+pub mod gen;
+pub mod globalcut;
+pub mod gomoryhu;
+pub mod graph;
+pub mod treepack;
+pub mod undirected;
+
+pub use graph::{DiGraph, Edge, EdgeId, NodeId};
+pub use undirected::{UnEdge, UnGraph};

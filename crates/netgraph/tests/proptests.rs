@@ -1,0 +1,109 @@
+//! Property-based tests for flows, packings, and connectivity.
+
+use nab_netgraph::arborescence::{pack_arborescences, validate_packing};
+use nab_netgraph::connectivity::{vertex_connectivity_pair, vertex_disjoint_paths};
+use nab_netgraph::flow::{broadcast_rate, min_cut, min_cut_undirected, min_pairwise_cut_undirected};
+use nab_netgraph::gen;
+use nab_netgraph::treepack::{max_spanning_trees, pack_spanning_trees, validate_tree_packing};
+use nab_netgraph::{DiGraph, UnGraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random strongly-connected digraph described by (n, seed,
+/// density, max capacity).
+fn arb_graph() -> impl Strategy<Value = DiGraph> {
+    (4usize..8, any::<u64>(), 0.2f64..0.9, 1u64..5).prop_map(|(n, seed, p, cap)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        gen::random_connected(n, p, cap, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mincut_bounded_by_degree_cuts(g in arb_graph()) {
+        for t in 1..g.node_count() {
+            let cut = min_cut(&g, 0, t);
+            let in_cap: u64 = g.in_edges(t).map(|(_, e)| e.cap).sum();
+            let out_cap: u64 = g.out_edges(0).map(|(_, e)| e.cap).sum();
+            prop_assert!(cut <= in_cap);
+            prop_assert!(cut <= out_cap);
+        }
+    }
+
+    #[test]
+    fn broadcast_rate_is_min_of_mincuts(g in arb_graph()) {
+        let rate = broadcast_rate(&g, 0);
+        let direct = (1..g.node_count()).map(|t| min_cut(&g, 0, t)).min().unwrap();
+        prop_assert_eq!(rate, direct);
+    }
+
+    #[test]
+    fn edmonds_packing_achieves_broadcast_rate(g in arb_graph()) {
+        let rate = broadcast_rate(&g, 0);
+        let trees = pack_arborescences(&g, 0, rate).expect("Edmonds guarantees a packing");
+        prop_assert_eq!(trees.len() as u64, rate);
+        prop_assert!(validate_packing(&g, 0, &trees).is_ok());
+    }
+
+    #[test]
+    fn undirected_cut_at_least_directed(g in arb_graph()) {
+        let u = UnGraph::from_digraph(&g);
+        for t in 1..g.node_count() {
+            prop_assert!(min_cut_undirected(&u, 0, t) >= min_cut(&g, 0, t));
+        }
+    }
+
+    #[test]
+    fn tutte_half_cut_trees_pack(g in arb_graph()) {
+        let u = UnGraph::from_digraph(&g);
+        let cut = min_pairwise_cut_undirected(&u).unwrap();
+        let k = (cut / 2) as usize;
+        if k > 0 {
+            let trees = pack_spanning_trees(&u, k).expect("Tutte/Nash-Williams");
+            prop_assert!(validate_tree_packing(&u, &trees).is_ok());
+        }
+    }
+
+    #[test]
+    fn strength_at_least_half_min_cut(g in arb_graph()) {
+        let u = UnGraph::from_digraph(&g);
+        let cut = min_pairwise_cut_undirected(&u).unwrap();
+        let strength = max_spanning_trees(&u) as u64;
+        prop_assert!(strength >= cut / 2);
+        // And strength can never exceed the min cut itself.
+        prop_assert!(strength <= cut);
+    }
+
+    #[test]
+    fn disjoint_paths_match_connectivity(g in arb_graph()) {
+        let k = vertex_connectivity_pair(&g, 0, g.node_count() - 1) as usize;
+        if k > 0 {
+            let paths = vertex_disjoint_paths(&g, 0, g.node_count() - 1, k)
+                .expect("connectivity many paths");
+            prop_assert_eq!(paths.len(), k);
+            // Pairwise internal disjointness.
+            let mut internal = std::collections::HashSet::new();
+            for p in &paths {
+                for &v in &p[1..p.len() - 1] {
+                    prop_assert!(internal.insert(v));
+                }
+            }
+        }
+        prop_assert!(vertex_disjoint_paths(&g, 0, g.node_count() - 1, k + 1).is_none());
+    }
+
+    #[test]
+    fn removing_an_edge_never_raises_rate(g in arb_graph()) {
+        let before = broadcast_rate(&g, 0);
+        let Some((_, e)) = g.edges().next() else { return Ok(()); };
+        let (src, dst) = (e.src, e.dst);
+        let mut g2 = g.clone();
+        g2.remove_edges_between(src, dst);
+        if g2.all_reachable_from(0) {
+            prop_assert!(broadcast_rate(&g2, 0) <= before);
+        }
+    }
+}

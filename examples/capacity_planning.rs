@@ -1,0 +1,68 @@
+//! Capacity planning: given candidate datacenter interconnect topologies,
+//! compute each one's Byzantine-broadcast capacity bounds (Theorem 2) and
+//! NAB's guaranteed throughput (Eq. 6) to pick the best buy.
+//!
+//! Run with: `cargo run --example capacity_planning`
+
+use nab_repro::nab::bounds::bounds_report;
+use nab_repro::netgraph::{gen, DiGraph};
+
+fn candidate_topologies() -> Vec<(&'static str, DiGraph, usize)> {
+    // Three ways to spend a link budget on a 4-node BB deployment with
+    // f = 1, plus a 7-node option tolerating f = 2.
+    vec![
+        ("uniform mesh (cap 2)", gen::complete(4, 2), 1),
+        ("uniform mesh (cap 4)", gen::complete(4, 4), 1),
+        (
+            "fat source links",
+            {
+                let mut g = DiGraph::new(4);
+                for i in 0..4usize {
+                    for j in 0..4usize {
+                        if i == j {
+                            continue;
+                        }
+                        // Source-adjacent links get capacity 6, the rest 1.
+                        let cap = if i == 0 || j == 0 { 6 } else { 1 };
+                        g.add_edge(i, j, cap);
+                    }
+                }
+                g
+            },
+            1,
+        ),
+        ("7-node mesh, f=2", gen::complete(7, 2), 2),
+    ]
+}
+
+fn main() {
+    println!(
+        "{:<22} {:>4} {:>4} {:>4} {:>4} {:>11} {:>10} {:>9}",
+        "topology", "γ1", "γ*", "U1", "ρ*", "Eq.6 lower", "Thm2 upper", "fraction"
+    );
+    for (name, g, f) in candidate_topologies() {
+        match bounds_report(&g, 0, f, 1 << 18) {
+            Some(r) => {
+                println!(
+                    "{:<22} {:>4} {:>4} {:>4} {:>4} {:>11.2} {:>10} {:>9.3}",
+                    name,
+                    r.gamma1,
+                    r.gamma_star.value,
+                    r.u1,
+                    r.rho_star,
+                    r.tnab_lower,
+                    r.capacity_upper,
+                    r.guaranteed_fraction
+                );
+                // Theorem 3, checked live:
+                assert!(r.guaranteed_fraction >= 1.0 / 3.0 - 1e-9);
+            }
+            None => println!("{name:<22} (violates BB prerequisites)"),
+        }
+    }
+    println!(
+        "\nReading: 'Eq.6 lower' is NAB's guaranteed worst-case throughput;\n\
+         'Thm2 upper' bounds what ANY algorithm could achieve. NAB is always\n\
+         within 3× of optimal (2× when γ* ≤ ρ*)."
+    );
+}

@@ -1,0 +1,239 @@
+//! `nab-sim` — run NAB simulations from the command line.
+//!
+//! ```text
+//! cargo run --release --bin nab-sim -- \
+//!     --topology complete:5:2 --f 1 --symbols 64 --q 10 \
+//!     --faulty 2 --adversary corruptor --broadcast eig --bounds
+//! ```
+//!
+//! Topologies: `complete:N:CAP`, `hetero:N:LO:HI`, `barbell:HALF:CAP:BRIDGES:BCAP`,
+//! `ring:N:CAP`, `fig1a`, `fig2a`.
+//! Adversaries: `honest`, `corruptor`, `liar`, `false-alarm`, `equivocate`,
+//! `garbler`, `random:P`.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use nab_repro::nab::adversary::{
+    EqualityGarbler, EquivocatingSource, FalseAlarm, HonestStrategy, LyingCorruptor, NabAdversary,
+    RandomStrategy, TruthfulCorruptor,
+};
+use nab_repro::nab::bounds::bounds_report;
+use nab_repro::nab::engine::{run_many, NabConfig, NabEngine};
+use nab_repro::nab::BroadcastKind;
+use nab_repro::netgraph::{gen, DiGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Args {
+    topology: String,
+    f: usize,
+    symbols: usize,
+    q: usize,
+    faulty: BTreeSet<usize>,
+    adversary: String,
+    broadcast: BroadcastKind,
+    seed: u64,
+    show_bounds: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        topology: "complete:4:2".into(),
+        f: 1,
+        symbols: 64,
+        q: 10,
+        faulty: BTreeSet::new(),
+        adversary: "honest".into(),
+        broadcast: BroadcastKind::Eig,
+        seed: 7,
+        show_bounds: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--topology" => args.topology = take(&mut i)?,
+            "--f" => args.f = take(&mut i)?.parse().map_err(|e| format!("--f: {e}"))?,
+            "--symbols" => {
+                args.symbols = take(&mut i)?.parse().map_err(|e| format!("--symbols: {e}"))?
+            }
+            "--q" => args.q = take(&mut i)?.parse().map_err(|e| format!("--q: {e}"))?,
+            "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--faulty" => {
+                for part in take(&mut i)?.split(',') {
+                    args.faulty
+                        .insert(part.trim().parse().map_err(|e| format!("--faulty: {e}"))?);
+                }
+            }
+            "--adversary" => args.adversary = take(&mut i)?,
+            "--broadcast" => {
+                args.broadcast = match take(&mut i)?.as_str() {
+                    "eig" => BroadcastKind::Eig,
+                    "phase-king" => BroadcastKind::PhaseKing,
+                    other => return Err(format!("unknown broadcast kind {other}")),
+                }
+            }
+            "--bounds" => args.show_bounds = true,
+            "--help" | "-h" => {
+                println!("see module docs: cargo doc --bin nab-sim");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn build_topology(spec: &str, seed: u64) -> Result<DiGraph, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<u64, String> { s.parse().map_err(|e| format!("{spec}: {e}")) };
+    match parts[0] {
+        "complete" if parts.len() == 3 => {
+            Ok(gen::complete(num(parts[1])? as usize, num(parts[2])?))
+        }
+        "hetero" if parts.len() == 4 => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Ok(gen::complete_heterogeneous(
+                num(parts[1])? as usize,
+                num(parts[2])?,
+                num(parts[3])?,
+                &mut rng,
+            ))
+        }
+        "barbell" if parts.len() == 5 => Ok(gen::barbell(
+            num(parts[1])? as usize,
+            num(parts[2])?,
+            num(parts[3])? as usize,
+            num(parts[4])?,
+        )),
+        "ring" if parts.len() == 3 => Ok(gen::ring(num(parts[1])? as usize, num(parts[2])?)),
+        "fig1a" => Ok(gen::figure_1a()),
+        "fig2a" => Ok(gen::figure_2a()),
+        _ => Err(format!("unrecognized topology spec: {spec}")),
+    }
+}
+
+fn build_adversary(spec: &str) -> Result<Box<dyn NabAdversary>, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    Ok(match parts[0] {
+        "honest" => Box::new(HonestStrategy),
+        "corruptor" => Box::new(TruthfulCorruptor),
+        "liar" => Box::new(LyingCorruptor),
+        "false-alarm" => Box::new(FalseAlarm),
+        "equivocate" => Box::new(EquivocatingSource),
+        "garbler" => Box::new(EqualityGarbler),
+        "random" => {
+            let p: f64 = parts
+                .get(1)
+                .unwrap_or(&"0.5")
+                .parse()
+                .map_err(|e| format!("random:P — {e}"))?;
+            Box::new(RandomStrategy::new(1, p))
+        }
+        other => return Err(format!("unknown adversary {other}")),
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let g = match build_topology(&args.topology, args.seed) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "network: {} ({} nodes, {} links, total capacity {})",
+        args.topology,
+        g.active_count(),
+        g.edge_count(),
+        g.total_capacity()
+    );
+
+    if args.show_bounds {
+        match bounds_report(&g, 0, args.f, 1 << 18) {
+            Some(r) => {
+                println!(
+                    "bounds: γ1={} γ*={}{} U1={} ρ*={}  Eq.6 lower={:.2}  Thm2 upper={}  fraction={:.3}",
+                    r.gamma1,
+                    r.gamma_star.value,
+                    if r.gamma_star.exact { "" } else { " (approx)" },
+                    r.u1,
+                    r.rho_star,
+                    r.tnab_lower,
+                    r.capacity_upper,
+                    r.guaranteed_fraction
+                );
+            }
+            None => println!("bounds: undefined (U_1 < 2)"),
+        }
+    }
+
+    let cfg = NabConfig {
+        f: args.f,
+        symbols: args.symbols,
+        seed: args.seed,
+    };
+    let mut engine = match NabEngine::new(g, cfg) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: network rejected: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    engine.set_broadcast_kind(args.broadcast);
+
+    let mut adv = match build_adversary(&args.adversary) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match run_many(&mut engine, args.q, &args.faulty, adv.as_mut(), args.seed) {
+        Ok(sum) => {
+            println!(
+                "ran {} instances of {} bits: total time {:.1}, throughput {:.3} bits/unit",
+                sum.instances,
+                args.symbols * 16,
+                sum.total_time,
+                sum.throughput
+            );
+            println!(
+                "dispute rounds: {}  disputes: {:?}  removed: {:?}",
+                sum.dispute_rounds,
+                engine.disputes().pairs,
+                engine.disputes().removed
+            );
+            println!(
+                "correctness (agreement + validity in every instance): {}",
+                sum.all_correct
+            );
+            if sum.all_correct {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Umbrella crate for the NAB reproduction workspace.
+//!
+//! Re-exports the component crates so examples and integration tests can use
+//! a single dependency. See the individual crates for the real APIs:
+//!
+//! - [`gf`] — finite fields `GF(2^m)` and dense linear algebra,
+//! - [`netgraph`] — capacitated digraphs, flows, and tree packings,
+//! - [`sim`] — the synchronous capacitated network simulator,
+//! - [`bb`] — classic Byzantine-broadcast primitives and baselines,
+//! - [`nab`] — the Network-Aware Byzantine broadcast algorithm itself.
+
+pub use nab;
+pub use nab_bb as bb;
+pub use nab_gf as gf;
+pub use nab_netgraph as netgraph;
+pub use nab_sim as sim;

@@ -1,0 +1,223 @@
+//! End-to-end integration tests: NAB's agreement, validity, and
+//! termination under every adversary strategy × every faulty-node choice,
+//! across multiple instances with evolving `G_k`.
+
+use std::collections::BTreeSet;
+
+use nab_repro::nab::adversary::{
+    EqualityGarbler, EquivocatingSource, FalseAlarm, HonestStrategy, LyingCorruptor,
+    NabAdversary, RandomStrategy, TruthfulCorruptor,
+};
+use nab_repro::nab::dispute::DisputeState;
+use nab_repro::nab::engine::{NabConfig, NabEngine, SOURCE};
+use nab_repro::nab::Value;
+use nab_repro::netgraph::gen;
+use nab_repro::netgraph::DiGraph;
+
+fn adversaries() -> Vec<(&'static str, Box<dyn NabAdversary>)> {
+    vec![
+        ("honest", Box::new(HonestStrategy)),
+        ("truthful-corruptor", Box::new(TruthfulCorruptor)),
+        ("lying-corruptor", Box::new(LyingCorruptor)),
+        ("equivocating-source", Box::new(EquivocatingSource)),
+        ("false-alarm", Box::new(FalseAlarm)),
+        ("equality-garbler", Box::new(EqualityGarbler)),
+        ("random-0.5", Box::new(RandomStrategy::new(4, 0.5))),
+        ("random-1.0", Box::new(RandomStrategy::new(5, 1.0))),
+    ]
+}
+
+/// Runs `q` instances and asserts the BB properties for each.
+fn check_run(g: DiGraph, f: usize, faulty: BTreeSet<usize>, adv: &mut dyn NabAdversary, q: usize) {
+    let cfg = NabConfig {
+        f,
+        symbols: 24,
+        seed: 99,
+    };
+    let mut engine = NabEngine::new(g, cfg).expect("valid network");
+    let mut disputes_seen = 0;
+    for inst in 0..q {
+        let input = Value::from_u64s(
+            &(0..24u64)
+                .map(|i| i * 13 + inst as u64 * 7 + 1)
+                .collect::<Vec<_>>(),
+        );
+        let rep = engine
+            .run_instance(&input, &faulty, adv)
+            .expect("instance must terminate");
+        disputes_seen += usize::from(rep.dispute_ran);
+
+        // Termination: every fault-free node decided.
+        let gk_nodes: BTreeSet<usize> = rep.outputs.keys().copied().collect();
+        for &v in &gk_nodes {
+            assert!(rep.outputs.contains_key(&v));
+        }
+
+        // Agreement among fault-free nodes.
+        let honest: Vec<&Value> = rep
+            .outputs
+            .iter()
+            .filter(|(v, _)| !faulty.contains(v))
+            .map(|(_, o)| o)
+            .collect();
+        assert!(!honest.is_empty());
+        for w in honest.windows(2) {
+            assert_eq!(w[0], w[1], "agreement violated at instance {inst}");
+        }
+
+        // Validity when the source is fault-free.
+        if !faulty.contains(&SOURCE) && !rep.defaulted {
+            assert_eq!(honest[0], &input, "validity violated at instance {inst}");
+        }
+    }
+    assert!(
+        disputes_seen <= DisputeState::max_executions(f),
+        "dispute budget exceeded: {disputes_seen}"
+    );
+}
+
+#[test]
+fn k4_all_adversaries_all_fault_positions() {
+    for bad in 0..4usize {
+        for (name, mut adv) in adversaries() {
+            check_run(
+                gen::complete(4, 2),
+                1,
+                BTreeSet::from([bad]),
+                adv.as_mut(),
+                4,
+            );
+            let _ = name;
+        }
+    }
+}
+
+#[test]
+fn k4_no_faults_all_adversaries_are_noops() {
+    for (_, mut adv) in adversaries() {
+        check_run(gen::complete(4, 2), 1, BTreeSet::new(), adv.as_mut(), 2);
+    }
+}
+
+#[test]
+fn k5_single_fault_heavier_graph() {
+    for bad in [0usize, 2, 4] {
+        for (_, mut adv) in adversaries() {
+            check_run(
+                gen::complete(5, 2),
+                1,
+                BTreeSet::from([bad]),
+                adv.as_mut(),
+                3,
+            );
+        }
+    }
+}
+
+#[test]
+fn k7_two_faults() {
+    // f = 2 with two colluding corruptors.
+    for pair in [[1usize, 2], [0, 3], [5, 6]] {
+        check_run(
+            gen::complete(7, 1),
+            2,
+            BTreeSet::from(pair),
+            &mut TruthfulCorruptor,
+            5,
+        );
+        check_run(
+            gen::complete(7, 1),
+            2,
+            BTreeSet::from(pair),
+            &mut RandomStrategy::new(11, 0.8),
+            5,
+        );
+    }
+}
+
+#[test]
+fn heterogeneous_capacities() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(21);
+    for trial in 0..3 {
+        let g = gen::complete_heterogeneous(4, 1, 6, &mut rng);
+        check_run(
+            g,
+            1,
+            BTreeSet::from([(trial % 3) + 1]),
+            &mut TruthfulCorruptor,
+            3,
+        );
+    }
+}
+
+#[test]
+fn graph_evolution_is_monotone() {
+    // G_{k+1} ⊆ G_k: active nodes and live edges never grow back.
+    let cfg = NabConfig {
+        f: 1,
+        symbols: 16,
+        seed: 7,
+    };
+    let mut engine = NabEngine::new(gen::complete(4, 2), cfg).unwrap();
+    let faulty = BTreeSet::from([1]);
+    let mut adv = LyingCorruptor;
+    let mut prev_edges = engine.current_graph().edge_count();
+    let mut prev_nodes = engine.current_graph().active_count();
+    for i in 0..4 {
+        let input = Value::from_u64s(&(0..16u64).map(|x| x + i).collect::<Vec<_>>());
+        engine.run_instance(&input, &faulty, &mut adv).unwrap();
+        let gk = engine.current_graph();
+        assert!(gk.edge_count() <= prev_edges);
+        assert!(gk.active_count() <= prev_nodes);
+        prev_edges = gk.edge_count();
+        prev_nodes = gk.active_count();
+    }
+}
+
+#[test]
+fn fault_free_nodes_never_removed() {
+    // Soundness of dispute control: across all adversaries and positions,
+    // only genuinely faulty nodes are ever excluded.
+    for bad in 0..4usize {
+        for (_, mut adv) in adversaries() {
+            let cfg = NabConfig {
+                f: 1,
+                symbols: 16,
+                seed: 3,
+            };
+            let mut engine = NabEngine::new(gen::complete(4, 2), cfg).unwrap();
+            let faulty = BTreeSet::from([bad]);
+            for i in 0..3 {
+                let input =
+                    Value::from_u64s(&(0..16u64).map(|x| x * 3 + i).collect::<Vec<_>>());
+                engine.run_instance(&input, &faulty, adv.as_mut()).unwrap();
+            }
+            for removed in &engine.disputes().removed {
+                assert!(
+                    faulty.contains(removed),
+                    "fault-free node {removed} was removed (adversary at {bad})"
+                );
+            }
+            // Dispute pairs always include a faulty endpoint.
+            for &(a, b) in &engine.disputes().pairs {
+                assert!(
+                    faulty.contains(&a) || faulty.contains(&b),
+                    "dispute pair ({a},{b}) has no faulty endpoint"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_figure_network_runs_nab() {
+    // Figure 1(a) has connectivity 2 < 2f+1, so NAB must refuse it.
+    let cfg = NabConfig {
+        f: 1,
+        symbols: 8,
+        seed: 1,
+    };
+    assert!(NabEngine::new(gen::figure_1a(), cfg).is_err());
+}

@@ -1,0 +1,134 @@
+//! Dispute-control soundness under *colluding* adversaries that try to
+//! frame fault-free nodes.
+//!
+//! The critical safety property of Phase 3 (paper, Appendix B): "a pair of
+//! fault-free nodes will never be found in dispute with each other" and "a
+//! fault-free node will never be found to be faulty". These tests attack
+//! that property directly with coordinated liars.
+
+use std::collections::BTreeSet;
+
+use nab_repro::nab::adversary::FramingCollusion;
+use nab_repro::nab::engine::{NabConfig, NabEngine, SOURCE};
+use nab_repro::nab::Value;
+use nab_repro::netgraph::gen;
+
+fn value(symbols: usize, salt: u64) -> Value {
+    Value::from_u64s(&(0..symbols as u64).map(|i| i * 5 + salt).collect::<Vec<_>>())
+}
+
+/// Two colluders on K7 (f = 2) corrupt and then jointly accuse an innocent
+/// node. The scapegoat must never be removed, no fault-free pair may end
+/// up in dispute, and the BB properties must survive.
+#[test]
+fn collusion_cannot_remove_a_fault_free_node() {
+    for (colluders, scapegoat) in [([1usize, 2], 3), ([2, 5], 4), ([1, 6], 5)] {
+        let faulty: BTreeSet<usize> = colluders.into_iter().collect();
+        let mut adv = FramingCollusion {
+            scapegoat,
+            corruptor: colluders[0],
+        };
+        let mut engine = NabEngine::new(
+            gen::complete(7, 1),
+            NabConfig {
+                f: 2,
+                symbols: 14,
+                seed: 31,
+            },
+        )
+        .unwrap();
+
+        for k in 0..5 {
+            let input = value(14, k);
+            let rep = engine.run_instance(&input, &faulty, &mut adv).unwrap();
+            // Agreement + validity every instance.
+            for (&v, out) in &rep.outputs {
+                if !faulty.contains(&v) && !rep.defaulted {
+                    assert_eq!(*out, input, "instance {k}, node {v}");
+                }
+            }
+        }
+        // Soundness: the scapegoat (and every other fault-free node)
+        // survives; any removals are genuine colluders.
+        assert!(
+            !engine.disputes().removed.contains(&scapegoat),
+            "scapegoat {scapegoat} was removed! disputes={:?}",
+            engine.disputes()
+        );
+        for removed in &engine.disputes().removed {
+            assert!(faulty.contains(removed), "honest node {removed} removed");
+        }
+        // No dispute pair consists of two fault-free nodes.
+        for &(a, b) in &engine.disputes().pairs {
+            assert!(
+                faulty.contains(&a) || faulty.contains(&b),
+                "fault-free pair ({a},{b}) in dispute"
+            );
+        }
+    }
+}
+
+/// Framing the *source* is the highest-value target (removing it would
+/// force default outputs forever). It must fail the same way.
+#[test]
+fn collusion_cannot_frame_the_source() {
+    let faulty = BTreeSet::from([3, 4]);
+    let mut adv = FramingCollusion {
+        scapegoat: SOURCE,
+        corruptor: 3,
+    };
+    let mut engine = NabEngine::new(
+        gen::complete(7, 1),
+        NabConfig {
+            f: 2,
+            symbols: 14,
+            seed: 5,
+        },
+    )
+    .unwrap();
+    for k in 0..6 {
+        let input = value(14, k);
+        let rep = engine.run_instance(&input, &faulty, &mut adv).unwrap();
+        assert!(!rep.defaulted, "source must never be evicted");
+        for (&v, out) in &rep.outputs {
+            if !faulty.contains(&v) {
+                assert_eq!(*out, input);
+            }
+        }
+    }
+    assert!(!engine.disputes().removed.contains(&SOURCE));
+}
+
+/// The collusion does pay a price: the fabricated accusations create
+/// disputes between the liars and the scapegoat, eating the liars' own
+/// link budget — and once a liar collects f+1 distinct disputes it is
+/// excluded. Eventually the system stops running dispute control at all.
+#[test]
+fn collusion_burns_itself_out() {
+    let faulty = BTreeSet::from([1, 2]);
+    let mut adv = FramingCollusion {
+        scapegoat: 3,
+        corruptor: 1,
+    };
+    let mut engine = NabEngine::new(
+        gen::complete(7, 1),
+        NabConfig {
+            f: 2,
+            symbols: 14,
+            seed: 77,
+        },
+    )
+    .unwrap();
+    let budget = nab_repro::nab::dispute::DisputeState::max_executions(2);
+    let mut disputes = 0;
+    for k in 0..10 {
+        let input = value(14, k);
+        let rep = engine.run_instance(&input, &faulty, &mut adv).unwrap();
+        disputes += usize::from(rep.dispute_ran);
+    }
+    assert!(disputes <= budget, "{disputes} dispute rounds > budget {budget}");
+    // Steady state: the last instances run clean.
+    let input = value(14, 99);
+    let rep = engine.run_instance(&input, &faulty, &mut adv).unwrap();
+    assert!(!rep.dispute_ran, "collusion should be neutralized by now");
+}

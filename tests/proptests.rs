@@ -1,0 +1,107 @@
+//! Property-based integration tests: BB safety properties under random
+//! networks, random faulty sets, and randomized adversaries.
+
+use std::collections::BTreeSet;
+
+use nab_repro::nab::adversary::RandomStrategy;
+use nab_repro::nab::engine::{NabConfig, NabEngine, SOURCE};
+use nab_repro::nab::Value;
+use nab_repro::netgraph::gen;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On K4/K5 with one random faulty node and a fully random adversary,
+    /// every instance satisfies agreement; validity holds when the source
+    /// is fault-free; only faulty nodes ever get excluded.
+    #[test]
+    fn random_adversary_never_breaks_bb(
+        n in 4usize..6,
+        cap in 1u64..4,
+        bad in 0usize..5,
+        adv_seed in any::<u64>(),
+        p in 0.1f64..1.0,
+        input_seed in any::<u64>(),
+    ) {
+        let bad = bad % n;
+        let g = gen::complete(n, cap);
+        let cfg = NabConfig { f: 1, symbols: 12, seed: 42 };
+        let mut engine = NabEngine::new(g, cfg).unwrap();
+        let faulty = BTreeSet::from([bad]);
+        let mut adv = RandomStrategy::new(adv_seed, p);
+        let mut rng = StdRng::seed_from_u64(input_seed);
+
+        for _ in 0..3 {
+            let input = Value::random(12, &mut rng);
+            let rep = engine.run_instance(&input, &faulty, &mut adv).unwrap();
+
+            let honest: Vec<&Value> = rep
+                .outputs
+                .iter()
+                .filter(|(v, _)| !faulty.contains(v))
+                .map(|(_, o)| o)
+                .collect();
+            for w in honest.windows(2) {
+                prop_assert_eq!(w[0], w[1], "agreement");
+            }
+            if bad != SOURCE && !rep.defaulted {
+                prop_assert_eq!(honest[0], &input, "validity");
+            }
+        }
+        for removed in &engine.disputes().removed {
+            prop_assert!(faulty.contains(removed), "removed an honest node");
+        }
+        for &(a, b) in &engine.disputes().pairs {
+            prop_assert!(faulty.contains(&a) || faulty.contains(&b));
+        }
+    }
+
+    /// Random heterogeneous networks: the bounds pipeline (γ*, ρ*, Eq. 6,
+    /// Theorem 2) is internally consistent and Theorem 3's fraction holds.
+    #[test]
+    fn bounds_consistent_on_random_networks(seed in any::<u64>()) {
+        let mut grng = StdRng::seed_from_u64(seed);
+        let g = gen::random_connected(5, 0.7, 4, &mut grng);
+        if let Some(rep) = nab_repro::nab::bounds::bounds_report(&g, 0, 1, 1 << 16) {
+            prop_assert!(rep.gamma_star.value <= rep.gamma1);
+            prop_assert!(rep.rho_star == rep.u1 / 2);
+            prop_assert!(rep.tnab_lower <= rep.capacity_upper as f64 + 1e-9);
+            if rep.gamma_star.exact {
+                prop_assert!(rep.guaranteed_fraction >= 1.0 / 3.0 - 1e-9);
+            }
+        }
+    }
+
+    /// Phase-1 value corruption by a random adversary is always either
+    /// absent or detected by the equality check + flag agreement.
+    #[test]
+    fn corruption_implies_detection(
+        adv_seed in any::<u64>(),
+        bad in 1usize..4,
+    ) {
+        use nab_repro::nab::adversary::NabAdversary;
+        let g = gen::complete(4, 2);
+        let cfg = NabConfig { f: 1, symbols: 12, seed: 17 };
+        let mut engine = NabEngine::new(g, cfg).unwrap();
+        let faulty = BTreeSet::from([bad]);
+        let mut adv = RandomStrategy::new(adv_seed, 0.9);
+        let input = Value::from_u64s(&(0..12).collect::<Vec<_>>());
+        let rep = engine.run_instance(&input, &faulty, &mut adv).unwrap();
+        // If any fault-free node ended Phase 1 with a wrong value, the
+        // instance must have detected a mismatch (Theorem 1 property EC —
+        // up to the 2^-16 soundness error, negligible at 24 trials).
+        let honest_wrong = rep
+            .outputs
+            .iter()
+            .any(|(v, o)| !faulty.contains(v) && *o != input);
+        if honest_wrong {
+            prop_assert!(rep.mismatch_detected);
+            // And dispute control repaired the outcome.
+            prop_assert!(rep.dispute_ran);
+        }
+        let _ = &mut adv as &mut dyn NabAdversary;
+    }
+}

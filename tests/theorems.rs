@@ -1,0 +1,209 @@
+//! Integration tests asserting the paper's theorems hold on the
+//! implementation, beyond the single worked examples.
+
+use std::collections::BTreeSet;
+
+use nab_repro::nab::adversary::HonestStrategy;
+use nab_repro::nab::bounds::{self, bounds_report};
+use nab_repro::nab::engine::{run_many, NabConfig, NabEngine};
+use nab_repro::nab::equality::theorem1_failure_bound;
+use nab_repro::nab::theory::theorem1_trial;
+use nab_repro::gf::Gf2m;
+use nab_repro::netgraph::flow::min_pairwise_cut_undirected;
+use nab_repro::netgraph::{gen, UnGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn theorem1_bound_holds_on_random_graphs() {
+    // For several random networks, the empirical probability of sampling
+    // unsound coding matrices stays below the union bound (where the bound
+    // is informative).
+    let mut rng = StdRng::seed_from_u64(50);
+    let trials = 60;
+    for seed in 0..4u64 {
+        let mut grng = StdRng::seed_from_u64(seed);
+        let g = gen::random_connected(5, 0.7, 2, &mut grng);
+        let f = 1;
+        let u = UnGraph::from_digraph(&g);
+        let cut = min_pairwise_cut_undirected(&u).unwrap();
+        let rho = (cut / 2).max(1) as usize;
+        // m = 8 bits: bound = C(5,4)·3·ρ / 256.
+        let bound = theorem1_failure_bound(5, f, rho, 8);
+        let mut fails = 0;
+        for _ in 0..trials {
+            if !theorem1_trial::<Gf2m<8>, _>(&g, f, rho, &mut rng) {
+                fails += 1;
+            }
+        }
+        let emp = fails as f64 / trials as f64;
+        if bound < 0.5 {
+            // Allow Monte-Carlo slack of ~3 standard deviations.
+            let slack = 3.0 * (bound.max(0.02) / trials as f64).sqrt();
+            assert!(
+                emp <= bound + slack,
+                "seed {seed}: empirical {emp} vs bound {bound}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem1_trial_violated_when_rho_exceeds_half_cut() {
+    // The ρ ≤ U/2 hypothesis is necessary in general: crank ρ far above
+    // U/2 on a thin graph and soundness must become impossible (C_H is
+    // wider than its column budget allows).
+    let mut g = nab_repro::netgraph::DiGraph::new(4);
+    // A sparse ring-ish graph with U small.
+    g.add_edge(0, 1, 1);
+    g.add_edge(1, 2, 1);
+    g.add_edge(2, 3, 1);
+    g.add_edge(3, 0, 1);
+    g.add_edge(1, 0, 1);
+    g.add_edge(2, 1, 1);
+    g.add_edge(3, 2, 1);
+    g.add_edge(0, 3, 1);
+    let mut rng = StdRng::seed_from_u64(1);
+    // Ω for f=1 on 4 nodes: 3-node subgraphs; some H has only 2 edges →
+    // m = 4 columns < (3−1)·ρ rows for ρ ≥ 3.
+    let sound = theorem1_trial::<Gf2m<16>, _>(&g, 1, 3, &mut rng);
+    assert!(!sound, "ρ far above U/2 cannot be sound");
+}
+
+#[test]
+fn theorem2_and_3_on_random_ensemble() {
+    for seed in 0..8u64 {
+        let mut grng = StdRng::seed_from_u64(seed + 100);
+        let g = gen::random_connected(5, 0.8, 3, &mut grng);
+        let Some(rep) = bounds_report(&g, 0, 1, 1 << 18) else {
+            continue;
+        };
+        // Eq. 6 lower bound never exceeds the Theorem 2 upper bound.
+        assert!(
+            rep.tnab_lower <= rep.capacity_upper as f64 + 1e-9,
+            "seed {seed}: lower {} > upper {}",
+            rep.tnab_lower,
+            rep.capacity_upper
+        );
+        // Theorem 3.
+        assert!(
+            rep.guaranteed_fraction >= 1.0 / 3.0 - 1e-9,
+            "seed {seed}: fraction {}",
+            rep.guaranteed_fraction
+        );
+        if rep.gamma_star.value <= rep.rho_star {
+            assert!(rep.guaranteed_fraction >= 0.5 - 1e-9, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn gamma_star_is_reachable_infimum() {
+    // γ* lower-bounds the per-instance γ_k of every actual execution.
+    use nab_repro::nab::adversary::LyingCorruptor;
+    use nab_repro::nab::Value;
+    let g = gen::complete(4, 2);
+    let gs = bounds::gamma_star(&g, 0, 1, 1 << 18);
+    let cfg = NabConfig {
+        f: 1,
+        symbols: 16,
+        seed: 2,
+    };
+    let mut engine = NabEngine::new(g, cfg).unwrap();
+    let faulty = BTreeSet::from([3]);
+    let mut adv = LyingCorruptor;
+    for i in 0..4 {
+        let input = Value::from_u64s(&(0..16u64).map(|x| x + i).collect::<Vec<_>>());
+        let rep = engine.run_instance(&input, &faulty, &mut adv).unwrap();
+        if !rep.defaulted {
+            assert!(
+                rep.gamma_k >= gs.value,
+                "instance γ_k {} below γ* {}",
+                rep.gamma_k,
+                gs.value
+            );
+        }
+    }
+}
+
+#[test]
+fn measured_phase_costs_match_model_on_random_graphs() {
+    // Phase 1 takes L/γ_k and the equality check takes L/ρ_k (up to
+    // column rounding) — the quantities the throughput analysis (Eq. 6)
+    // sums. Verified on an ensemble, not just K4.
+    use nab_repro::nab::Value;
+    let mut grng = StdRng::seed_from_u64(500);
+    let mut checked = 0;
+    for _ in 0..10 {
+        let g = gen::random_connected(4, 0.9, 3, &mut grng);
+        let cfg = NabConfig {
+            f: 1,
+            symbols: 120,
+            seed: 6,
+        };
+        let Ok(mut engine) = NabEngine::new(g, cfg) else {
+            continue;
+        };
+        let input = Value::from_u64s(&(0..120).collect::<Vec<_>>());
+        let rep = engine
+            .run_instance(&input, &BTreeSet::new(), &mut HonestStrategy)
+            .unwrap();
+        let l = input.bits() as f64;
+        assert!(
+            (rep.times.phase1 - l / rep.gamma_k as f64).abs() < 1e-6,
+            "phase1 {} vs L/γ {}",
+            rep.times.phase1,
+            l / rep.gamma_k as f64
+        );
+        let cols = 120usize.div_ceil(rep.rho_k as usize) as f64;
+        assert!(
+            (rep.times.equality - cols * 16.0).abs() < 1e-6,
+            "equality {} vs {}",
+            rep.times.equality,
+            cols * 16.0
+        );
+        checked += 1;
+    }
+    assert!(checked >= 3, "ensemble too thin: {checked}");
+}
+
+#[test]
+fn throughput_approaches_eq6_with_large_l() {
+    // As L grows, measured fault-free throughput converges towards (and
+    // above) the per-instance bound γ_1ρ_1/(γ_1+ρ_1) ≥ Eq.6's γ*ρ*/(γ*+ρ*).
+    let g = gen::complete(4, 2);
+    let rep = bounds_report(&g, 0, 1, 1 << 18).unwrap();
+    let mut prev = 0.0;
+    for symbols in [60usize, 240, 960] {
+        let cfg = NabConfig {
+            f: 1,
+            symbols,
+            seed: 8,
+        };
+        let mut engine = NabEngine::new(g.clone(), cfg).unwrap();
+        let s = run_many(&mut engine, 3, &BTreeSet::new(), &mut HonestStrategy, 2).unwrap();
+        assert!(s.throughput >= prev * 0.999, "throughput not improving in L");
+        prev = s.throughput;
+    }
+    assert!(
+        prev >= rep.tnab_lower,
+        "large-L throughput {} below Eq.6 bound {}",
+        prev,
+        rep.tnab_lower
+    );
+}
+
+#[test]
+fn capacity_bound_respects_oblivious_baseline_too() {
+    // Sanity for Theorem 2's universality: even the baseline protocol's
+    // throughput sits below min(γ*, 2ρ*) on the uniform mesh.
+    let g = gen::complete(4, 2);
+    let rep = bounds_report(&g, 0, 1, 1 << 18).unwrap();
+    let t = nab_repro::bb::baselines::oblivious_throughput(&g, 0, 1, 1 << 14).unwrap();
+    assert!(
+        t <= rep.capacity_upper as f64 + 1e-9,
+        "baseline {} above capacity bound {}",
+        t,
+        rep.capacity_upper
+    );
+}
