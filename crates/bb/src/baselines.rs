@@ -196,16 +196,8 @@ mod tests {
             }
         }
         let g = gen::complete(4, 1);
-        let rep = oblivious_full_value_broadcast(
-            &g,
-            0,
-            1,
-            64,
-            55,
-            &BTreeSet::from([2]),
-            &mut Flip,
-        )
-        .unwrap();
+        let rep = oblivious_full_value_broadcast(&g, 0, 1, 64, 55, &BTreeSet::from([2]), &mut Flip)
+            .unwrap();
         assert!(rep.correct, "EIG must tolerate one faulty relay at n=4");
     }
 }

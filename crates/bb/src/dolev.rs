@@ -241,7 +241,11 @@ mod tests {
         let res = dolev_broadcast(&g, 0, 2, 5, &BTreeSet::new(), &mut no_forge);
         assert_eq!(res.accepted[&2], None, "ring cannot support f=2");
         let res1 = dolev_broadcast(&g, 0, 1, 5, &BTreeSet::new(), &mut no_forge);
-        assert_eq!(res1.accepted[&2], Some(5), "f=1 works on a 2-connected ring");
+        assert_eq!(
+            res1.accepted[&2],
+            Some(5),
+            "f=1 works on a 2-connected ring"
+        );
     }
 
     #[test]
@@ -289,6 +293,10 @@ mod tests {
         // All copies traverse simple paths, so the count is finite and the
         // protocol quiesces within n rounds.
         assert!(res.rounds <= 7);
-        assert!(res.messages > 100, "flooding should be heavy: {}", res.messages);
+        assert!(
+            res.messages > 100,
+            "flooding should be heavy: {}",
+            res.messages
+        );
     }
 }

@@ -79,6 +79,7 @@ impl<V> EigChannel<V> for IdealChannel {
 /// # Panics
 ///
 /// Panics if `source` is not a participant or `|participants| ≤ 3f`.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
 pub fn run_eig<V, C>(
     participants: &[NodeId],
     source: NodeId,
@@ -102,10 +103,8 @@ where
 
     let mut messages = 0u64;
     // Per-node claim trees: path -> value heard.
-    let mut trees: BTreeMap<NodeId, HashMap<Vec<NodeId>, V>> = participants
-        .iter()
-        .map(|&p| (p, HashMap::new()))
-        .collect();
+    let mut trees: BTreeMap<NodeId, HashMap<Vec<NodeId>, V>> =
+        participants.iter().map(|&p| (p, HashMap::new())).collect();
 
     // Round 1: the source announces its input.
     let root_path = vec![source];
@@ -141,10 +140,7 @@ where
                 }
                 let mut new_path = path.clone();
                 new_path.push(relay);
-                let honest = trees[&relay]
-                    .get(path)
-                    .cloned()
-                    .unwrap_or_default();
+                let honest = trees[&relay].get(path).cloned().unwrap_or_default();
                 for &r in participants {
                     if r == relay {
                         new_entries.push((r, new_path.clone(), honest.clone()));
@@ -264,7 +260,10 @@ mod tests {
             1,
         );
         let honest: Vec<NodeId> = (1..4).collect();
-        assert!(all_agree(&res, &honest).is_some(), "honest nodes must agree");
+        assert!(
+            all_agree(&res, &honest).is_some(),
+            "honest nodes must agree"
+        );
     }
 
     #[test]
@@ -300,7 +299,11 @@ mod tests {
             &mut IdealChannel,
             1,
         );
-        let honest: Vec<NodeId> = parts.iter().copied().filter(|n| !faulty.contains(n)).collect();
+        let honest: Vec<NodeId> = parts
+            .iter()
+            .copied()
+            .filter(|n| !faulty.contains(n))
+            .collect();
         assert!(all_agree(&res, &honest).is_some());
     }
 
@@ -384,11 +387,8 @@ mod tests {
                 let faulty = BTreeSet::from([bad]);
                 let mut equiv = Equivocator;
                 let mut flip = Flipper;
-                let adversary: &mut dyn EigAdversary<u64> = if adv_kind == 0 {
-                    &mut equiv
-                } else {
-                    &mut flip
-                };
+                let adversary: &mut dyn EigAdversary<u64> =
+                    if adv_kind == 0 { &mut equiv } else { &mut flip };
                 let res = run_eig(
                     &parts,
                     0,
@@ -399,8 +399,7 @@ mod tests {
                     &mut IdealChannel,
                     1,
                 );
-                let honest: Vec<NodeId> =
-                    parts.iter().copied().filter(|n| *n != bad).collect();
+                let honest: Vec<NodeId> = parts.iter().copied().filter(|n| *n != bad).collect();
                 let agreed = all_agree(&res, &honest);
                 assert!(agreed.is_some(), "disagreement with faulty={bad}");
                 if bad != 0 {

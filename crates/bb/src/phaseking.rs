@@ -59,6 +59,7 @@ pub struct PkResult<V> {
 /// # Panics
 ///
 /// Panics if `source` is not a participant or `|participants| ≤ 4f`.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
 pub fn run_phase_king<V, C>(
     participants: &[NodeId],
     source: NodeId,
@@ -237,16 +238,7 @@ mod tests {
         let parts: Vec<NodeId> = (0..5).collect();
         for bad in 1..5 {
             let faulty = BTreeSet::from([bad]);
-            let res = run_phase_king(
-                &parts,
-                0,
-                1,
-                7u64,
-                &faulty,
-                &mut Flip,
-                &mut IdealChannel,
-                8,
-            );
+            let res = run_phase_king(&parts, 0, 1, 7u64, &faulty, &mut Flip, &mut IdealChannel, 8);
             let honest: Vec<NodeId> = parts.iter().copied().filter(|&p| p != bad).collect();
             assert_eq!(agreed(&res, &honest), Some(7), "faulty={bad}");
         }
@@ -291,8 +283,11 @@ mod tests {
                 &mut IdealChannel,
                 8,
             );
-            let honest: Vec<NodeId> =
-                parts.iter().copied().filter(|p| !faulty.contains(p)).collect();
+            let honest: Vec<NodeId> = parts
+                .iter()
+                .copied()
+                .filter(|p| !faulty.contains(p))
+                .collect();
             let a = agreed(&res, &honest);
             assert!(a.is_some(), "faulty={pair:?}");
             if !faulty.contains(&0) {
@@ -363,18 +358,9 @@ mod tests {
                     let mut fl = Flip;
                     let adv: &mut dyn PkAdversary<u64> =
                         if adv_id == 0 { &mut eq } else { &mut fl };
-                    let res = run_phase_king(
-                        &parts,
-                        0,
-                        1,
-                        input,
-                        &faulty,
-                        adv,
-                        &mut IdealChannel,
-                        1,
-                    );
-                    let honest: Vec<NodeId> =
-                        parts.iter().copied().filter(|&p| p != bad).collect();
+                    let res =
+                        run_phase_king(&parts, 0, 1, input, &faulty, adv, &mut IdealChannel, 1);
+                    let honest: Vec<NodeId> = parts.iter().copied().filter(|&p| p != bad).collect();
                     let a = agreed(&res, &honest);
                     assert!(a.is_some(), "bad={bad} input={input} adv={adv_id}");
                     if bad != 0 {

@@ -81,6 +81,7 @@ impl PathRouter {
     /// Returns the majority value among delivered copies, or `None` if no
     /// strict majority exists (cannot happen when at most `f` of `2f+1`
     /// copies are corrupted).
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
     pub fn unicast<V, FC>(
         &self,
         net: &mut NetSim<Routed<V>>,
@@ -120,7 +121,8 @@ impl PathRouter {
                     path_idx: idx,
                     value: carried[idx].clone(),
                 };
-                net.send(a, b, bits, msg).expect("routed path uses real links");
+                net.send(a, b, bits, msg)
+                    .expect("routed path uses real links");
             }
             net.deliver_round(&format!("route/{origin}->{target}/hop{hop}"));
         }
@@ -191,15 +193,7 @@ mod tests {
         let router = PathRouter::build(&g, 1).unwrap();
         let mut net = NetSim::new(g);
         let faulty = BTreeSet::new();
-        let got = router.unicast(
-            &mut net,
-            &faulty,
-            0,
-            3,
-            1,
-            42u64,
-            &mut |_, v| *v,
-        );
+        let got = router.unicast(&mut net, &faulty, 0, 3, 1, 42u64, &mut |_, v| *v);
         assert_eq!(got, Some(42));
         assert!(net.clock() > 0.0, "routing must consume time");
     }
@@ -212,7 +206,11 @@ mod tests {
         // Node 1 is faulty and flips every value it relays.
         let faulty = BTreeSet::from([1]);
         let got = router.unicast(&mut net, &faulty, 0, 3, 1, 42u64, &mut |_, _| 999);
-        assert_eq!(got, Some(42), "majority over 3 disjoint paths beats 1 fault");
+        assert_eq!(
+            got,
+            Some(42),
+            "majority over 3 disjoint paths beats 1 fault"
+        );
     }
 
     #[test]

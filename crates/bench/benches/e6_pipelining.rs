@@ -11,9 +11,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("model_from_ring8", |b| {
         b.iter(|| std::hint::black_box(model_for("ring", &ring, 4096.0, 32.0)))
     });
-    group.bench_function("full_sweep", |b| {
-        b.iter(|| std::hint::black_box(run(200)))
-    });
+    group.bench_function("full_sweep", |b| b.iter(|| std::hint::black_box(run(200))));
     group.finish();
 }
 

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use nab::equality::{equality_check_flags, no_tamper, CodingScheme};
 use nab::value::Value;
 use nab_gf::field::Field;
-use nab_gf::{Gf2m, Gf2_16, Matrix};
+use nab_gf::{Gf2_16, Gf2m, Matrix};
 use nab_netgraph::arborescence::pack_arborescences;
 use nab_netgraph::flow::{broadcast_rate, min_cut};
 use nab_netgraph::gen;
@@ -26,9 +26,7 @@ fn bench_gf(c: &mut Criterion) {
     group.bench_function("gf2_32_mul_clmul", |b| {
         b.iter(|| std::hint::black_box(a32.mul(b32)))
     });
-    group.bench_function("gf2_32_inv", |b| {
-        b.iter(|| std::hint::black_box(a32.inv()))
-    });
+    group.bench_function("gf2_32_inv", |b| b.iter(|| std::hint::black_box(a32.inv())));
     let mut rng = StdRng::seed_from_u64(5);
     let m = Matrix::<Gf2_16>::random(16, 16, &mut rng);
     group.bench_function("invert_16x16_gf2_16", |b| {
@@ -65,9 +63,7 @@ fn bench_equality(c: &mut Criterion) {
     let v = Value::from_u64s(&(0..512).collect::<Vec<_>>());
     let values: std::collections::BTreeMap<_, _> = g.nodes().map(|n| (n, v.clone())).collect();
     group.bench_function("flags_k6_512sym", |b| {
-        b.iter(|| {
-            std::hint::black_box(equality_check_flags(&g, &values, &scheme, &mut no_tamper))
-        })
+        b.iter(|| std::hint::black_box(equality_check_flags(&g, &values, &scheme, &mut no_tamper)))
     });
     group.bench_function("encode_one_edge_512sym", |b| {
         b.iter(|| std::hint::black_box(scheme.encode(0, 1, &v)))

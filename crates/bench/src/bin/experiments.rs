@@ -29,7 +29,11 @@ fn main() {
     println!("{}", nab_bench::e4_amortization::table(&e4));
     for s in &e4 {
         let times: Vec<String> = s.points.iter().map(|p| format!("{:.0}", p.time)).collect();
-        println!("  {} per-instance times: [{}]", s.adversary, times.join(", "));
+        println!(
+            "  {} per-instance times: [{}]",
+            s.adversary,
+            times.join(", ")
+        );
     }
     println!();
 
@@ -50,4 +54,22 @@ fn main() {
     println!("{}", nab_bench::e8_ablation::rho_table(&rho));
     let pack = nab_bench::e8_ablation::packing_ablation();
     println!("{}", nab_bench::e8_ablation::packing_table(&pack));
+
+    println!("## E3/E4/E7 via the scenario engine (shared sweep-runner code path)\n");
+    for spec in [
+        nab_bench::scenarios::e3_throughput_scenario(if quick { 60 } else { 240 }, q),
+        nab_bench::scenarios::e4_amortization_scenario(if quick { 4 } else { 8 }),
+        nab_bench::scenarios::e7_capacity_scenario(if quick { 2 } else { 4 }),
+    ] {
+        // threads = 0: the sweep runner maps it to one worker per CPU.
+        let (report, table) = nab_bench::scenarios::run_and_table(&spec, 0);
+        println!("### {}\n", report.scenario);
+        println!("{table}");
+        println!(
+            "  aggregate: mean throughput {:.3}, disputes {}, all correct: {}\n",
+            report.aggregate.mean_throughput,
+            report.aggregate.total_dispute_rounds,
+            report.aggregate.all_correct
+        );
+    }
 }

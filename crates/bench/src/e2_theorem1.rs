@@ -69,7 +69,13 @@ pub fn run_default(trials: usize) -> Vec<Theorem1Row> {
 /// Formats the sweep as a table.
 pub fn table(rows: &[Theorem1Row]) -> String {
     crate::format_table(
-        &["m (bits)", "trials", "failures", "empirical P(unsound)", "union bound"],
+        &[
+            "m (bits)",
+            "trials",
+            "failures",
+            "empirical P(unsound)",
+            "union bound",
+        ],
         &rows
             .iter()
             .map(|r| {

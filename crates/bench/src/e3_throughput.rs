@@ -44,7 +44,11 @@ pub fn network_suite() -> Vec<(String, DiGraph, usize)> {
         ("K4 ×2".into(), gen::complete(4, 2), 1),
         ("K4 ×4".into(), gen::complete(4, 4), 1),
         ("K5 ×2".into(), gen::complete(5, 2), 1),
-        ("K4 hetero".into(), gen::complete_heterogeneous(4, 1, 8, &mut rng), 1),
+        (
+            "K4 hetero".into(),
+            gen::complete_heterogeneous(4, 1, 8, &mut rng),
+            1,
+        ),
         ("K7 ×1 f=2".into(), gen::complete(7, 1), 2),
     ]
 }
@@ -170,16 +174,8 @@ mod tests {
         // Large L so the O(n^α) flag overhead is amortized.
         let faulty = BTreeSet::new();
         let mut adv = HonestStrategy;
-        let row = measure(
-            "K4 ×2",
-            &gen::complete(4, 2),
-            1,
-            1200,
-            4,
-            &faulty,
-            &mut adv,
-        )
-        .expect("bounds exist");
+        let row = measure("K4 ×2", &gen::complete(4, 2), 1, 1200, 4, &faulty, &mut adv)
+            .expect("bounds exist");
         // Theorem 3: the lower bound is at least a third of the capacity
         // bound.
         assert!(row.tnab_bound * 3.0 + 1e-9 >= row.capacity_bound as f64);
@@ -204,16 +200,7 @@ mod tests {
     fn adversarial_run_still_correct_and_measured() {
         let faulty = BTreeSet::from([2]);
         let mut adv = TruthfulCorruptor;
-        let row = measure(
-            "K4 ×2",
-            &gen::complete(4, 2),
-            1,
-            600,
-            4,
-            &faulty,
-            &mut adv,
-        )
-        .unwrap();
+        let row = measure("K4 ×2", &gen::complete(4, 2), 1, 600, 4, &faulty, &mut adv).unwrap();
         assert!(row.adversarial_steady > 0.0);
         assert_eq!(row.dispute_rounds, 1, "one dispute round exposes the fault");
     }

@@ -67,7 +67,9 @@ pub fn run_series(
     let mut disputes = 0;
     for k in 1..=q {
         let input = Value::random(symbols, &mut rng);
-        let rep = engine.run_instance(&input, faulty, adv).expect("instance runs");
+        let rep = engine
+            .run_instance(&input, faulty, adv)
+            .expect("instance runs");
         total += rep.times.total();
         disputes += usize::from(rep.dispute_ran);
         points.push(InstancePoint {
@@ -89,35 +91,27 @@ pub fn run_series(
 pub fn run_default(q: usize) -> Vec<AmortizationSeries> {
     let g = gen::complete(4, 2);
     let faulty = BTreeSet::from([2]);
-    let mut out = Vec::new();
-    out.push(run_series(
-        "false-alarm",
-        &g,
-        1,
-        240,
-        q,
-        &faulty,
-        &mut FalseAlarm,
-    ));
-    out.push(run_series(
-        "truthful-corruptor",
-        &g,
-        1,
-        240,
-        q,
-        &faulty,
-        &mut TruthfulCorruptor,
-    ));
-    out.push(run_series(
-        "lying-corruptor",
-        &g,
-        1,
-        240,
-        q,
-        &faulty,
-        &mut LyingCorruptor,
-    ));
-    out
+    vec![
+        run_series("false-alarm", &g, 1, 240, q, &faulty, &mut FalseAlarm),
+        run_series(
+            "truthful-corruptor",
+            &g,
+            1,
+            240,
+            q,
+            &faulty,
+            &mut TruthfulCorruptor,
+        ),
+        run_series(
+            "lying-corruptor",
+            &g,
+            1,
+            240,
+            q,
+            &faulty,
+            &mut LyingCorruptor,
+        ),
+    ]
 }
 
 /// Formats the series as a table of (k, time, dispute) milestones.

@@ -28,7 +28,12 @@ pub struct PipelineRow {
 
 /// Builds a model from a real graph: measures `γ`, tree depth, and uses
 /// `ρ = γ` for a conservative equality-check rate.
-pub fn model_for(name: &str, g: &nab_netgraph::DiGraph, l_bits: f64, overhead: f64) -> PipelineModel {
+pub fn model_for(
+    name: &str,
+    g: &nab_netgraph::DiGraph,
+    l_bits: f64,
+    overhead: f64,
+) -> PipelineModel {
     let gamma = broadcast_rate(g, 0);
     let trees = pack_arborescences(g, 0, gamma).expect("packing");
     let depth = trees.iter().map(|t| t.depth()).max().unwrap_or(1);
@@ -68,7 +73,14 @@ pub fn run(q: usize) -> Vec<PipelineRow> {
 /// Formats the sweep.
 pub fn table(rows: &[PipelineRow]) -> String {
     crate::format_table(
-        &["network", "depth", "Q", "store&fwd T", "pipelined T", "Q→∞ limit"],
+        &[
+            "network",
+            "depth",
+            "Q",
+            "store&fwd T",
+            "pipelined T",
+            "Q→∞ limit",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -27,7 +27,11 @@ pub fn networks() -> Vec<(String, DiGraph, usize)> {
         ("K4 ×1".into(), gen::complete(4, 1), 1),
         ("K4 ×3".into(), gen::complete(4, 3), 1),
         ("K5 ×2".into(), gen::complete(5, 2), 1),
-        ("K5 hetero".into(), gen::complete_heterogeneous(5, 1, 6, &mut rng), 1),
+        (
+            "K5 hetero".into(),
+            gen::complete_heterogeneous(5, 1, 6, &mut rng),
+            1,
+        ),
         ("K7 ×1 f=2".into(), gen::complete(7, 1), 2),
         ("barbell".into(), gen::barbell(2, 4, 2, 2), 1),
     ]

@@ -66,7 +66,14 @@ pub fn rho_sweep(g: &DiGraph, l_bits: f64) -> Vec<RhoRow> {
 /// Formats the ρ sweep.
 pub fn rho_table(rows: &[RhoRow]) -> String {
     crate::format_table(
-        &["ρ", "ρ≤U/2", "eq time", "random sound", "vandermonde sound", "attack exists"],
+        &[
+            "ρ",
+            "ρ≤U/2",
+            "eq time",
+            "random sound",
+            "vandermonde sound",
+            "attack exists",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -82,13 +82,7 @@ impl NabAdversary for HonestStrategy {}
 pub struct TruthfulCorruptor;
 
 impl NabAdversary for TruthfulCorruptor {
-    fn phase1_forward(
-        &mut self,
-        _: NodeId,
-        _: usize,
-        _: NodeId,
-        honest: &[Gf2_16],
-    ) -> Vec<Gf2_16> {
+    fn phase1_forward(&mut self, _: NodeId, _: usize, _: NodeId, honest: &[Gf2_16]) -> Vec<Gf2_16> {
         corrupt_first(honest)
     }
 }
@@ -100,13 +94,7 @@ impl NabAdversary for TruthfulCorruptor {
 pub struct LyingCorruptor;
 
 impl NabAdversary for LyingCorruptor {
-    fn phase1_forward(
-        &mut self,
-        _: NodeId,
-        _: usize,
-        _: NodeId,
-        honest: &[Gf2_16],
-    ) -> Vec<Gf2_16> {
+    fn phase1_forward(&mut self, _: NodeId, _: usize, _: NodeId, honest: &[Gf2_16]) -> Vec<Gf2_16> {
         corrupt_first(honest)
     }
 
@@ -329,11 +317,13 @@ mod tests {
         let mut s = LyingCorruptor;
         let mut honest = NodeClaims::default();
         honest.p1_received.insert((0, 0), vec![Gf2_16(9)]);
-        honest
-            .p1_sent
-            .insert((0, 2), vec![Gf2_16(10)]); // actually corrupted
+        honest.p1_sent.insert((0, 2), vec![Gf2_16(10)]); // actually corrupted
         let lied = s.claims(1, &honest);
-        assert_eq!(lied.p1_sent[&(0, 2)], vec![Gf2_16(9)], "claims the clean block");
+        assert_eq!(
+            lied.p1_sent[&(0, 2)],
+            vec![Gf2_16(9)],
+            "claims the clean block"
+        );
     }
 
     #[test]

@@ -49,20 +49,14 @@ pub fn k_subsets<T: Copy + Ord>(items: &[T], k: usize) -> Vec<BTreeSet<T>> {
 /// such that no two members have been found in dispute (Section 3).
 ///
 /// `n` is the size of the graph's original node universe, per the paper.
-pub fn omega_subsets(
-    g: &DiGraph,
-    f: usize,
-    disputes: &BTreeSet<Pair>,
-) -> Vec<BTreeSet<NodeId>> {
+pub fn omega_subsets(g: &DiGraph, f: usize, disputes: &BTreeSet<Pair>) -> Vec<BTreeSet<NodeId>> {
     let nodes: Vec<NodeId> = g.nodes().collect();
     let want = g.node_count().saturating_sub(f);
     k_subsets(&nodes, want)
         .into_iter()
         .filter(|h| {
-            h.iter().all(|&a| {
-                h.iter()
-                    .all(|&b| a >= b || !disputes.contains(&pair(a, b)))
-            })
+            h.iter()
+                .all(|&a| h.iter().all(|&b| a >= b || !disputes.contains(&pair(a, b))))
         })
         .collect()
 }
@@ -201,8 +195,11 @@ pub fn gamma_star(g: &DiGraph, source: NodeId, f: usize, budget: usize) -> Gamma
             if fset.contains(&source) {
                 continue;
             }
-            let keep: BTreeSet<NodeId> =
-                nodes.iter().copied().filter(|v| !fset.contains(v)).collect();
+            let keep: BTreeSet<NodeId> = nodes
+                .iter()
+                .copied()
+                .filter(|v| !fset.contains(v))
+                .collect();
             let sub = g.induced_subgraph(&keep);
             if sub.all_reachable_from(source) {
                 best = best.min(broadcast_rate(&sub, source));
@@ -230,18 +227,14 @@ fn incident_pairs(g: &DiGraph, fset: &BTreeSet<NodeId>) -> Vec<Pair> {
 /// `d`, minus the nodes present in every explanation of `d`. Returns `None`
 /// when `Ψ(D)` does not contain the source (such graphs terminate NAB with
 /// a default output and do not constrain throughput).
-fn psi_rate(
-    g: &DiGraph,
-    source: NodeId,
-    f: usize,
-    d: &[Pair],
-    nodes: &[NodeId],
-) -> Option<u64> {
+fn psi_rate(g: &DiGraph, source: NodeId, f: usize, d: &[Pair], nodes: &[NodeId]) -> Option<u64> {
     // Explanations: all subsets of size ≤ f covering every pair.
     let mut implied: Option<BTreeSet<NodeId>> = None;
     for size in 0..=f {
         for fset in k_subsets(nodes, size) {
-            if d.iter().all(|&(a, b)| fset.contains(&a) || fset.contains(&b)) {
+            if d.iter()
+                .all(|&(a, b)| fset.contains(&a) || fset.contains(&b))
+            {
                 implied = Some(match implied {
                     None => fset,
                     Some(acc) => acc.intersection(&fset).copied().collect(),
@@ -393,7 +386,11 @@ mod tests {
         let g = gen::complete(4, 1);
         let gs = gamma_star(&g, 0, 1, 1 << 20);
         assert!(gs.exact);
-        assert!(gs.value >= 1, "K4 should keep positive rate, got {}", gs.value);
+        assert!(
+            gs.value >= 1,
+            "K4 should keep positive rate, got {}",
+            gs.value
+        );
         assert!(gs.value <= 2);
     }
 

@@ -360,14 +360,7 @@ mod tests {
         let trees = pack_arborescences(&g, 0, 2).unwrap();
         let scheme = CodingScheme::random(&g, 1, 3);
         let input = Value::from_u64s(&[1, 2, 3, 4]);
-        let p1 = run_phase1(
-            &g,
-            0,
-            &input,
-            &trees,
-            &BTreeSet::new(),
-            &mut HonestStrategy,
-        );
+        let p1 = run_phase1(&g, 0, &input, &trees, &BTreeSet::new(), &mut HonestStrategy);
         let eq = crate::phase2::run_equality_phase(
             &g,
             &p1.values,

@@ -153,8 +153,7 @@ impl NabEngine {
         if !supports_byzantine_broadcast(&g, cfg.f) {
             return Err(NabError::InsufficientConnectivity);
         }
-        let router =
-            PathRouter::build(&g, cfg.f).ok_or(NabError::InsufficientConnectivity)?;
+        let router = PathRouter::build(&g, cfg.f).ok_or(NabError::InsufficientConnectivity)?;
         if rho_k(&g, cfg.f, &BTreeSet::new()).is_none() {
             return Err(NabError::NoEqualityParameter);
         }
@@ -266,8 +265,8 @@ impl NabEngine {
         }
 
         let gamma = gamma_k(&gk, SOURCE);
-        let trees = pack_arborescences(&gk, SOURCE, gamma)
-            .expect("Edmonds packing exists at rate γ_k");
+        let trees =
+            pack_arborescences(&gk, SOURCE, gamma).expect("Edmonds packing exists at rate γ_k");
 
         // Phase 1.
         let p1 = run_phase1(&gk, SOURCE, input, &trees, faulty, adv);
@@ -293,8 +292,8 @@ impl NabEngine {
         }
 
         // Phase 2: equality check + flag broadcast.
-        let rho = rho_k(&gk, self.cfg.f, &self.disputes.pairs)
-            .ok_or(NabError::NoEqualityParameter)?;
+        let rho =
+            rho_k(&gk, self.cfg.f, &self.disputes.pairs).ok_or(NabError::NoEqualityParameter)?;
         let scheme = CodingScheme::random(
             &gk,
             rho as usize,
@@ -391,9 +390,9 @@ impl NabEngine {
         // DC2 + DC3 on the agreed claims.
         let new_pairs = dc2_disputes(&agreed_claims);
         let exposed = dc3_exposed(&gk, SOURCE, &trees, &scheme, &agreed_claims);
-        let newly_removed =
-            self.disputes
-                .integrate(&self.g0, self.cfg.f, &new_pairs, &exposed);
+        let newly_removed = self
+            .disputes
+            .integrate(&self.g0, self.cfg.f, &new_pairs, &exposed);
 
         // Instance output: the source's broadcast input claim (agreement is
         // inherited from the claim broadcast; validity because a fault-free
@@ -437,6 +436,26 @@ pub struct RunSummary {
     pub all_correct: bool,
 }
 
+/// The paper's per-instance correctness conditions: *agreement* among
+/// fault-free nodes always, and *validity* (every fault-free output equals
+/// the input) when the source is fault-free and the known-faulty-source
+/// fast path did not default the instance.
+pub fn instance_correct(rep: &InstanceReport, faulty: &BTreeSet<NodeId>, input: &Value) -> bool {
+    let honest: Vec<&Value> = rep
+        .outputs
+        .iter()
+        .filter(|(v, _)| !faulty.contains(v))
+        .map(|(_, o)| o)
+        .collect();
+    if honest.windows(2).any(|w| w[0] != w[1]) {
+        return false;
+    }
+    if !faulty.contains(&SOURCE) && !rep.defaulted {
+        return honest.first().is_some_and(|v| **v == *input);
+    }
+    true
+}
+
 /// Runs `q` instances with fresh random inputs and returns the aggregate
 /// throughput report. Inputs are generated from `seed`.
 pub fn run_many(
@@ -459,23 +478,7 @@ pub fn run_many(
         let rep = engine.run_instance(&input, faulty, adv)?;
         total_time += rep.times.total();
         dispute_rounds += usize::from(rep.dispute_ran);
-        let source_ok = !faulty.contains(&SOURCE);
-        for (&v, out) in &rep.outputs {
-            if faulty.contains(&v) {
-                continue;
-            }
-            if source_ok && !rep.defaulted && *out != input {
-                all_correct = false;
-            }
-        }
-        // Agreement among fault-free nodes.
-        let honest_outputs: Vec<&Value> = rep
-            .outputs
-            .iter()
-            .filter(|(v, _)| !faulty.contains(v))
-            .map(|(_, o)| o)
-            .collect();
-        if honest_outputs.windows(2).any(|w| w[0] != w[1]) {
+        if !instance_correct(&rep, faulty, &input) {
             all_correct = false;
         }
     }
@@ -703,10 +706,14 @@ mod tests {
         // An equivocating source that also lies in claims ends up removed…
         // simplest: force removal via dispute state by running with a
         // source that corrupts both trees and lies.
-        let rep = e.run_instance(&x, &faulty, &mut EquivocatingSource).unwrap();
+        let rep = e
+            .run_instance(&x, &faulty, &mut EquivocatingSource)
+            .unwrap();
         assert!(rep.dispute_ran);
         if e.disputes().removed.contains(&0) {
-            let rep2 = e.run_instance(&x, &faulty, &mut EquivocatingSource).unwrap();
+            let rep2 = e
+                .run_instance(&x, &faulty, &mut EquivocatingSource)
+                .unwrap();
             assert!(rep2.defaulted);
             for out in rep2.outputs.values() {
                 assert_eq!(*out, Value::zeros(8));

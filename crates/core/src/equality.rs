@@ -69,7 +69,10 @@ impl CodingScheme {
     pub fn vandermonde(g: &DiGraph, rho: usize) -> Self {
         assert!(rho > 0, "equality-check parameter ρ must be positive");
         let total: u64 = g.edges().map(|(_, e)| e.cap).sum();
-        assert!(total < 65_535, "graph too large for distinct GF(2^16) points");
+        assert!(
+            total < 65_535,
+            "graph too large for distinct GF(2^16) points"
+        );
         let gen_elt = Gf2_16::from_u64(2); // generator of GF(2^16)* for 0x1100B
         let mut alpha = Gf2_16::from_u64(1);
         let mut matrices = BTreeMap::new();

@@ -137,7 +137,11 @@ mod tests {
         let g = gen::figure_2a();
         let (trees, input) = setup(&g);
         let out = run_phase1(&g, 0, &input, &trees, &BTreeSet::new(), &mut HonestStrategy);
-        assert!((out.duration - 48.0).abs() < 1e-9, "duration {}", out.duration);
+        assert!(
+            (out.duration - 48.0).abs() < 1e-9,
+            "duration {}",
+            out.duration
+        );
     }
 
     #[test]
@@ -168,7 +172,9 @@ mod tests {
         // Tree 0 is corrupted, so at least one non-source node differs from
         // the honest input.
         assert!(
-            g.nodes().filter(|&v| v != 0).any(|v| out.values[&v] != input),
+            g.nodes()
+                .filter(|&v| v != 0)
+                .any(|v| out.values[&v] != input),
             "equivocation must corrupt someone: {distinct:?}"
         );
     }

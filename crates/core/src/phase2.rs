@@ -49,13 +49,8 @@ pub fn run_equality_phase(
         } else {
             honest
         };
-        net.send(
-            e.src,
-            e.dst,
-            sent.len() as u64 * SYMBOL_BITS,
-            sent.clone(),
-        )
-        .expect("edge exists");
+        net.send(e.src, e.dst, sent.len() as u64 * SYMBOL_BITS, sent.clone())
+            .expect("edge exists");
         sends.insert((e.src, e.dst), sent);
     }
     let duration = net.deliver_round("phase2/equality");
@@ -93,6 +88,7 @@ pub enum BroadcastKind {
 /// Runs one `Broadcast_Default` of `input` from `source` among
 /// `participants` over the given channel, returning every participant's
 /// decision.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
 pub fn broadcast_value<V, C>(
     kind: BroadcastKind,
     participants: &[NodeId],
@@ -168,6 +164,7 @@ impl FlagOutcome {
 ///
 /// `f_residual` is the fault budget among the participants (original `f`
 /// minus nodes already exposed and excluded).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
 pub fn run_flag_broadcast(
     g0: &DiGraph,
     router: &PathRouter,
@@ -221,6 +218,7 @@ pub fn run_flag_broadcast(
 /// Builds every node's *truthful* claims from the ground truth of Phases
 /// 1–2 (what Phase 3 broadcasts when nodes do not lie about their
 /// transcripts). `announced_flags` are the flags from step 2.2.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
 pub fn honest_claims(
     gk: &DiGraph,
     source: NodeId,
@@ -294,7 +292,13 @@ mod tests {
     fn clean_run_raises_no_flags() {
         let (g, trees, scheme, input) = complete_setup();
         let p1 = run_phase1(&g, 0, &input, &trees, &BTreeSet::new(), &mut HonestStrategy);
-        let eq = run_equality_phase(&g, &p1.values, &scheme, &BTreeSet::new(), &mut HonestStrategy);
+        let eq = run_equality_phase(
+            &g,
+            &p1.values,
+            &scheme,
+            &BTreeSet::new(),
+            &mut HonestStrategy,
+        );
         assert!(eq.flags.values().all(|f| !f));
     }
 
@@ -302,11 +306,21 @@ mod tests {
     fn equality_duration_is_l_over_rho() {
         let (g, trees, scheme, input) = complete_setup();
         let p1 = run_phase1(&g, 0, &input, &trees, &BTreeSet::new(), &mut HonestStrategy);
-        let eq = run_equality_phase(&g, &p1.values, &scheme, &BTreeSet::new(), &mut HonestStrategy);
+        let eq = run_equality_phase(
+            &g,
+            &p1.values,
+            &scheme,
+            &BTreeSet::new(),
+            &mut HonestStrategy,
+        );
         // S=12 symbols, ρ=2 → 6 columns × 16 bits = 96 bits = L/ρ, and
         // every link of capacity z carries 6·z symbols → 96 time units / z·z…
         // each link: z·6 symbols·16 bits / z cap = 96.
-        assert!((eq.duration - 96.0).abs() < 1e-9, "duration {}", eq.duration);
+        assert!(
+            (eq.duration - 96.0).abs() < 1e-9,
+            "duration {}",
+            eq.duration
+        );
     }
 
     #[test]
@@ -338,8 +352,7 @@ mod tests {
         let (g, _, _, _) = complete_setup();
         let router = PathRouter::build(&g, 1).unwrap();
         let participants: Vec<NodeId> = g.nodes().collect();
-        let computed: BTreeMap<NodeId, bool> =
-            participants.iter().map(|&v| (v, v == 2)).collect();
+        let computed: BTreeMap<NodeId, bool> = participants.iter().map(|&v| (v, v == 2)).collect();
         let out = run_flag_broadcast(
             &g,
             &router,
@@ -364,8 +377,7 @@ mod tests {
         let (g, _, _, _) = complete_setup();
         let router = PathRouter::build(&g, 1).unwrap();
         let participants: Vec<NodeId> = g.nodes().collect();
-        let computed: BTreeMap<NodeId, bool> =
-            participants.iter().map(|&v| (v, false)).collect();
+        let computed: BTreeMap<NodeId, bool> = participants.iter().map(|&v| (v, false)).collect();
         let faulty = BTreeSet::from([3]);
         let out = run_flag_broadcast(
             &g,
@@ -388,7 +400,13 @@ mod tests {
     fn honest_claims_are_mutually_consistent() {
         let (g, trees, scheme, input) = complete_setup();
         let p1 = run_phase1(&g, 0, &input, &trees, &BTreeSet::new(), &mut HonestStrategy);
-        let eq = run_equality_phase(&g, &p1.values, &scheme, &BTreeSet::new(), &mut HonestStrategy);
+        let eq = run_equality_phase(
+            &g,
+            &p1.values,
+            &scheme,
+            &BTreeSet::new(),
+            &mut HonestStrategy,
+        );
         let claims = honest_claims(&g, 0, &input, &trees, &scheme, &p1, &eq, &eq.flags);
         assert!(crate::dispute::dc2_disputes(&claims).is_empty());
         assert!(crate::dispute::dc3_exposed(&g, 0, &trees, &scheme, &claims).is_empty());

@@ -108,8 +108,8 @@ mod tests {
         // as q grows.
         let m = model(1);
         let q = 10_000;
-        let rel =
-            (m.pipelined_throughput(q) - m.unpipelined_throughput(q)).abs() / m.pipelined_throughput(q);
+        let rel = (m.pipelined_throughput(q) - m.unpipelined_throughput(q)).abs()
+            / m.pipelined_throughput(q);
         assert!(rel < 1e-3, "rel={rel}");
     }
 

@@ -345,8 +345,7 @@ mod tests {
         let scheme = CodingScheme::random(&g, 2, 13);
         let h_nodes: BTreeSet<NodeId> = BTreeSet::from([0, 2, 3]);
         let h = g.induced_subgraph(&h_nodes);
-        let collision = colliding_values(&h, &scheme)
-            .expect("ρ > U_H/2 must be attackable on H");
+        let collision = colliding_values(&h, &scheme).expect("ρ > U_H/2 must be attackable on H");
         let distinct: std::collections::HashSet<_> = collision.values().collect();
         assert!(distinct.len() > 1, "attack must produce disagreement");
 
@@ -384,8 +383,7 @@ mod tests {
         // on the worked examples at the paper-prescribed ρ.
         for (g, rho) in [(gen::figure_2a(), 1usize), (gen::complete(4, 2), 2)] {
             let scheme = CodingScheme::vandermonde(&g, rho);
-            for h_nodes in crate::bounds::omega_subsets(&g, 1, &std::collections::BTreeSet::new())
-            {
+            for h_nodes in crate::bounds::omega_subsets(&g, 1, &std::collections::BTreeSet::new()) {
                 let h = g.induced_subgraph(&h_nodes);
                 assert!(ch_is_sound(&h, &scheme), "unsound on {h_nodes:?}");
             }

@@ -159,7 +159,10 @@ mod tests {
     fn split_join_roundtrip_even() {
         let v = Value::from_u64s(&[1, 2, 3, 4, 5, 6]);
         let blocks = v.split_blocks(3);
-        assert_eq!(blocks.iter().map(Vec::len).collect::<Vec<_>>(), vec![2, 2, 2]);
+        assert_eq!(
+            blocks.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![2, 2, 2]
+        );
         assert_eq!(Value::join_blocks(&blocks), v);
     }
 
@@ -167,7 +170,10 @@ mod tests {
     fn split_join_roundtrip_uneven() {
         let v = Value::from_u64s(&[1, 2, 3, 4, 5, 6, 7]);
         let blocks = v.split_blocks(3);
-        assert_eq!(blocks.iter().map(Vec::len).collect::<Vec<_>>(), vec![3, 2, 2]);
+        assert_eq!(
+            blocks.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![3, 2, 2]
+        );
         assert_eq!(Value::join_blocks(&blocks), v);
     }
 

@@ -17,6 +17,7 @@ struct Tables {
     log: [u16; 256],
 }
 
+#[allow(clippy::needless_range_loop)] // the index is the discrete log itself
 fn tables() -> &'static Tables {
     static TABLES: OnceLock<Tables> = OnceLock::new();
     TABLES.get_or_init(|| {

@@ -40,5 +40,5 @@ pub mod poly2;
 
 pub use field::Field;
 pub use gf256::Gf256;
-pub use gf2m::{Gf2m, Gf2_16, Gf2_32};
+pub use gf2m::{Gf2_16, Gf2_32, Gf2m};
 pub use matrix::Matrix;

@@ -269,7 +269,10 @@ mod tests {
         for r in 0..k.rows() {
             let v = k.row(r).to_vec();
             let av = a.transpose().left_mul_vec(&v);
-            assert!(av.iter().all(|x| x.is_zero()), "kernel vector not annihilated");
+            assert!(
+                av.iter().all(|x| x.is_zero()),
+                "kernel vector not annihilated"
+            );
         }
     }
 

@@ -133,7 +133,11 @@ impl<F: Field> Matrix<F> {
     ///
     /// Panics on dimension mismatch.
     pub fn add(&self, rhs: &Self) -> Self {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add dim mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add dim mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -368,7 +372,13 @@ mod tests {
     #[test]
     fn row_and_col_accessors() {
         let a = m(&[&[1, 2, 3], &[4, 5, 6]]);
-        assert_eq!(a.row(1).iter().map(|x| x.to_u64()).collect::<Vec<_>>(), vec![4, 5, 6]);
-        assert_eq!(a.col(2).iter().map(|x| x.to_u64()).collect::<Vec<_>>(), vec![3, 6]);
+        assert_eq!(
+            a.row(1).iter().map(|x| x.to_u64()).collect::<Vec<_>>(),
+            vec![4, 5, 6]
+        );
+        assert_eq!(
+            a.col(2).iter().map(|x| x.to_u64()).collect::<Vec<_>>(),
+            vec![3, 6]
+        );
     }
 }

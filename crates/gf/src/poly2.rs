@@ -118,9 +118,9 @@ fn prime_divisors(mut n: u32) -> Vec<u32> {
     let mut out = Vec::new();
     let mut p = 2;
     while p * p <= n {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             out.push(p);
-            while n % p == 0 {
+            while n.is_multiple_of(p) {
                 n /= p;
             }
         }

@@ -1,8 +1,8 @@
 //! Property-based tests: field axioms and linear-algebra invariants.
 
 use nab_gf::field::Field;
-use nab_gf::gf2m::{Gf2m, Gf2_16};
 use nab_gf::gf256::Gf256;
+use nab_gf::gf2m::{Gf2_16, Gf2m};
 use nab_gf::linalg;
 use nab_gf::matrix::Matrix;
 use proptest::prelude::*;
@@ -77,9 +77,8 @@ field_axioms!(axioms_gf2m_32, Gf2m<32>);
 field_axioms!(axioms_gf2m_64, Gf2m<64>);
 
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix<Gf256>> {
-    proptest::collection::vec(any::<u8>(), rows * cols).prop_map(move |data| {
-        Matrix::from_fn(rows, cols, |r, c| Gf256(data[r * cols + c]))
-    })
+    proptest::collection::vec(any::<u8>(), rows * cols)
+        .prop_map(move |data| Matrix::from_fn(rows, cols, |r, c| Gf256(data[r * cols + c])))
 }
 
 proptest! {

@@ -63,7 +63,11 @@ impl Arborescence {
                 Some(p) => 1 + depth_of(t, p),
             }
         }
-        self.edges.iter().map(|&(_, d)| depth_of(self, d)).max().unwrap_or(0)
+        self.edges
+            .iter()
+            .map(|&(_, d)| depth_of(self, d))
+            .max()
+            .unwrap_or(0)
     }
 }
 

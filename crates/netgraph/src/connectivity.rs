@@ -40,7 +40,10 @@ fn split_network(g: &DiGraph, s: NodeId, t: NodeId) -> (FlowNet, Vec<Option<usiz
 ///
 /// Panics if `s` or `t` is inactive or `s == t`.
 pub fn vertex_connectivity_pair(g: &DiGraph, s: NodeId, t: NodeId) -> u64 {
-    assert!(g.is_active(s) && g.is_active(t) && s != t, "bad connectivity query");
+    assert!(
+        g.is_active(s) && g.is_active(t) && s != t,
+        "bad connectivity query"
+    );
     let n = g.node_count();
     let (mut net, _) = split_network(g, s, t);
     net.max_flow(s + n, t)

@@ -155,7 +155,10 @@ impl FlowNet {
 ///
 /// Panics if `s` or `t` is inactive, or `s == t`.
 pub fn min_cut(g: &DiGraph, s: NodeId, t: NodeId) -> u64 {
-    assert!(g.is_active(s) && g.is_active(t), "min_cut endpoints must be active");
+    assert!(
+        g.is_active(s) && g.is_active(t),
+        "min_cut endpoints must be active"
+    );
     let mut net = FlowNet::new(g.node_count());
     for (_, e) in g.edges() {
         net.add_arc(e.src, e.dst, e.cap);
@@ -187,7 +190,10 @@ pub fn broadcast_rate(g: &DiGraph, s: NodeId) -> u64 {
 ///
 /// Panics if `s` or `t` is inactive, or `s == t`.
 pub fn min_cut_undirected(u: &UnGraph, s: NodeId, t: NodeId) -> u64 {
-    assert!(u.is_active(s) && u.is_active(t), "min_cut endpoints must be active");
+    assert!(
+        u.is_active(s) && u.is_active(t),
+        "min_cut endpoints must be active"
+    );
     let mut net = FlowNet::new(u.node_count());
     for (_, e) in u.edges() {
         // An undirected edge behaves as a pair of independent antiparallel

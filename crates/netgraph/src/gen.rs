@@ -92,12 +92,7 @@ pub fn ring(n: usize, cap: u64) -> DiGraph {
 /// A random digraph: every ordered pair gets an edge with probability `p`
 /// and capacity uniform in `1..=max_cap`; a bidirectional unit-capacity ring
 /// is always included so the graph is strongly connected.
-pub fn random_connected<R: Rng + ?Sized>(
-    n: usize,
-    p: f64,
-    max_cap: u64,
-    rng: &mut R,
-) -> DiGraph {
+pub fn random_connected<R: Rng + ?Sized>(n: usize, p: f64, max_cap: u64, rng: &mut R) -> DiGraph {
     let mut g = DiGraph::new(n);
     for i in 0..n {
         let j = (i + 1) % n;
@@ -136,6 +131,78 @@ pub fn barbell(half: usize, cluster_cap: u64, bridges: usize, bridge_cap: u64) -
     for b in 0..bridges {
         g.add_edge(b, half + b, bridge_cap);
         g.add_edge(half + b, b, bridge_cap);
+    }
+    g
+}
+
+/// A circulant digraph: every node `i` gets bidirectional links to
+/// `i ± 1, …, i ± m (mod n)`, all with capacity `cap`.
+///
+/// For `n > 2m` this is the Harary construction `H_{2m,n}`: vertex
+/// connectivity exactly `2m` with the minimum possible number of edges —
+/// the cheapest family meeting NAB's `2f+1`-connectivity prerequisite.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ m` and `2m < n`.
+pub fn circulant(n: usize, m: usize, cap: u64) -> DiGraph {
+    assert!(m >= 1 && 2 * m < n, "circulant needs 1 ≤ m and 2m < n");
+    let mut g = DiGraph::new(n);
+    for i in 0..n {
+        for d in 1..=m {
+            let j = (i + d) % n;
+            g.add_edge(i, j, cap);
+            g.add_edge(j, i, cap);
+        }
+    }
+    g
+}
+
+/// A random digraph guaranteed `k`-vertex-connected: a circulant
+/// `H_{2⌈k/2⌉,n}` backbone (connectivity `≥ k`) with heterogeneous backbone
+/// capacities in `1..=max_cap` plus extra random links, each ordered pair
+/// added with probability `extra_p`.
+///
+/// This is the parameterized family the scenario engine sweeps to exercise
+/// NAB on networks that *just* clear the `2f+1`-connectivity prerequisite
+/// (`k = 2f+1`) instead of the comfortable complete graph.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ k`, `2⌈k/2⌉ < n`, `max_cap ≥ 1`, and
+/// `0.0 ≤ extra_p ≤ 1.0`.
+pub fn random_k_connected<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    max_cap: u64,
+    extra_p: f64,
+    rng: &mut R,
+) -> DiGraph {
+    assert!(k >= 1, "k-connected needs k ≥ 1");
+    assert!(max_cap >= 1, "capacities must be positive");
+    assert!(
+        (0.0..=1.0).contains(&extra_p),
+        "extra_p must be a probability in [0, 1]"
+    );
+    let m = k.div_ceil(2);
+    assert!(2 * m < n, "random_k_connected needs 2⌈k/2⌉ < n");
+    let mut g = DiGraph::new(n);
+    // Backbone: circulant links with random capacities (both directions
+    // drawn independently — the model is directed).
+    for i in 0..n {
+        for d in 1..=m {
+            let j = (i + d) % n;
+            g.add_edge(i, j, rng.gen_range(1..=max_cap));
+            g.add_edge(j, i, rng.gen_range(1..=max_cap));
+        }
+    }
+    // Extra random chords on top of the guaranteed backbone.
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && g.find_edge(i, j).is_none() && rng.gen_bool(extra_p) {
+                g.add_edge(i, j, rng.gen_range(1..=max_cap));
+            }
+        }
     }
     g
 }
@@ -205,6 +272,45 @@ mod tests {
                 assert!(g.all_reachable_from(s));
             }
         }
+    }
+
+    #[test]
+    fn circulant_is_harary_connectivity() {
+        for (n, m) in [(5usize, 1usize), (7, 2), (9, 3), (10, 2)] {
+            let g = circulant(n, m, 2);
+            assert_eq!(
+                vertex_connectivity(&g),
+                Some(2 * m as u64),
+                "H_{{{},{}}}",
+                2 * m,
+                n
+            );
+            // Minimum edge count for that connectivity: n·m in each direction.
+            assert_eq!(g.edge_count(), 2 * n * m);
+        }
+    }
+
+    #[test]
+    fn random_k_connected_meets_its_promise() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(9);
+        for k in 1..=4usize {
+            for _ in 0..3 {
+                let g = random_k_connected(8, k, 4, 0.2, &mut rng);
+                let conn = vertex_connectivity(&g).unwrap();
+                assert!(conn >= k as u64, "k={k}: got connectivity {conn}");
+                for (_, e) in g.edges() {
+                    assert!((1..=4).contains(&e.cap));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "2m < n")]
+    fn circulant_rejects_overlapping_chords() {
+        let _ = circulant(4, 2, 1);
     }
 
     #[test]

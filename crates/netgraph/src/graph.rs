@@ -94,7 +94,10 @@ impl DiGraph {
     /// zero capacity, or if the edge `(src, dst)` already exists (the model
     /// is a simple graph).
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId, cap: u64) -> EdgeId {
-        assert!(src < self.node_count && dst < self.node_count, "endpoint out of range");
+        assert!(
+            src < self.node_count && dst < self.node_count,
+            "endpoint out of range"
+        );
         assert!(self.active[src] && self.active[dst], "endpoint inactive");
         assert_ne!(src, dst, "self-loops are not allowed");
         assert!(cap > 0, "link capacities are positive integers");

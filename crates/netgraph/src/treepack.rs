@@ -224,7 +224,7 @@ pub fn pack_spanning_trees(u: &UnGraph, k: usize) -> Option<Vec<Tree>> {
 pub fn max_spanning_trees(u: &UnGraph) -> usize {
     let nodes: Vec<NodeId> = u.nodes().collect();
     if nodes.len() <= 1 {
-        return usize::MAX.min(1 << 20); // vacuously unbounded; cap for sanity
+        return 1 << 20; // vacuously unbounded; cap for sanity
     }
     // The strength is at most total_cap / (n-1); binary search the largest
     // feasible k.
@@ -232,7 +232,7 @@ pub fn max_spanning_trees(u: &UnGraph) -> usize {
     let mut lo = 0usize;
     let mut hi = (total / (nodes.len() as u64 - 1)) as usize;
     while lo < hi {
-        let mid = (lo + hi + 1) / 2;
+        let mid = (lo + hi).div_ceil(2);
         if pack_spanning_trees(u, mid).is_some() {
             lo = mid;
         } else {
@@ -249,7 +249,11 @@ pub fn validate_tree_packing(u: &UnGraph, trees: &[Tree]) -> Result<(), String> 
     let mut usage: HashMap<(NodeId, NodeId), u64> = HashMap::new();
     for (i, t) in trees.iter().enumerate() {
         if t.len() != nodes.len().saturating_sub(1) {
-            return Err(format!("tree {i} has {} edges, want {}", t.len(), nodes.len() - 1));
+            return Err(format!(
+                "tree {i} has {} edges, want {}",
+                t.len(),
+                nodes.len() - 1
+            ));
         }
         let mut dsu = Dsu::new(u.node_count());
         for &(a, b) in t {
@@ -277,9 +281,12 @@ pub fn validate_tree_packing(u: &UnGraph, trees: &[Tree]) -> Result<(), String> 
 pub fn nash_williams_bound_exhaustive(u: &UnGraph) -> usize {
     let nodes: Vec<NodeId> = u.nodes().collect();
     let n = nodes.len();
-    assert!(n <= 10, "exhaustive partition enumeration is for small graphs");
+    assert!(
+        n <= 10,
+        "exhaustive partition enumeration is for small graphs"
+    );
     if n <= 1 {
-        return usize::MAX.min(1 << 20);
+        return 1 << 20;
     }
     // Enumerate set partitions via restricted growth strings.
     let mut best = usize::MAX;
@@ -319,8 +326,8 @@ pub fn nash_williams_bound_exhaustive(u: &UnGraph) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gen;
     use crate::flow::min_pairwise_cut_undirected;
+    use crate::gen;
 
     #[test]
     fn k4_packs_two_unit_trees() {

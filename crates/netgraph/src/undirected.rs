@@ -92,7 +92,10 @@ impl UnGraph {
     /// Panics on out-of-range/inactive endpoints, self-loops, zero capacity,
     /// or duplicate edges.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId, cap: u64) {
-        assert!(a < self.node_count && b < self.node_count, "endpoint out of range");
+        assert!(
+            a < self.node_count && b < self.node_count,
+            "endpoint out of range"
+        );
         assert!(self.active[a] && self.active[b], "endpoint inactive");
         assert_ne!(a, b, "self-loops are not allowed");
         assert!(cap > 0, "capacities are positive integers");

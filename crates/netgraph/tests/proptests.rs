@@ -2,7 +2,9 @@
 
 use nab_netgraph::arborescence::{pack_arborescences, validate_packing};
 use nab_netgraph::connectivity::{vertex_connectivity_pair, vertex_disjoint_paths};
-use nab_netgraph::flow::{broadcast_rate, min_cut, min_cut_undirected, min_pairwise_cut_undirected};
+use nab_netgraph::flow::{
+    broadcast_rate, min_cut, min_cut_undirected, min_pairwise_cut_undirected,
+};
 use nab_netgraph::gen;
 use nab_netgraph::treepack::{max_spanning_trees, pack_spanning_trees, validate_tree_packing};
 use nab_netgraph::{DiGraph, UnGraph};

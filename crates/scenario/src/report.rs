@@ -1,0 +1,504 @@
+//! Sweep results: per-job metrics, the aggregated report, and its
+//! deterministic JSON rendering.
+
+use nab_netgraph::NodeId;
+
+use crate::json::Json;
+
+/// The paper's bounds evaluated for one job's network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobBounds {
+    /// Eq. 6 throughput lower bound `γ*ρ*/(γ*+ρ*)`.
+    pub eq6_lower: f64,
+    /// Theorem 2 capacity upper bound `min(γ*, 2ρ*)`.
+    pub thm2_upper: u64,
+    /// `throughput / eq6_lower` (≥ 1 once `L` is large enough).
+    pub fraction_of_lower: f64,
+    /// `throughput / thm2_upper` (≤ 1 always, per Theorem 2).
+    pub fraction_of_upper: f64,
+}
+
+/// Everything measured for one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobMetrics {
+    /// Broadcast instances executed (`q × streams`).
+    pub instances: usize,
+    /// Useful payload bits broadcast: `L` per instance, except defaulted
+    /// instances (source already exposed), which deliver the default
+    /// value instead of a payload and count zero.
+    pub total_bits: u64,
+    /// Total simulated time.
+    pub total_time: f64,
+    /// `total_bits / total_time`.
+    pub throughput: f64,
+    /// Throughput over the instances after each stream's last dispute
+    /// round. `None` when no such instance carries simulated time: every
+    /// instance disputed, or the post-dispute tail consists only of
+    /// zero-cost defaulted instances (source exposed as faulty).
+    pub steady_throughput: Option<f64>,
+    /// Summed Phase-1 time.
+    pub phase1_time: f64,
+    /// Summed equality-check time.
+    pub equality_time: f64,
+    /// Summed flag-broadcast time.
+    pub flags_time: f64,
+    /// Summed dispute-control time.
+    pub dispute_time: f64,
+    /// Dispute-control executions observed (summed over streams).
+    pub dispute_rounds: usize,
+    /// Job-level dispute budget: `streams × f(f+1)` (each stream is an
+    /// independent deployment with its own paper bound).
+    pub dispute_budget: usize,
+    /// Whether any single stream exceeded its own `f(f+1)` budget.
+    pub dispute_budget_exceeded: bool,
+    /// Instances whose equality check raised MISMATCH.
+    pub mismatch_instances: usize,
+    /// Instances served by the known-faulty-source fast path.
+    pub defaulted_instances: usize,
+    /// All dispute pairs accumulated (union across streams).
+    pub pairs: Vec<(NodeId, NodeId)>,
+    /// Nodes exposed as faulty (union across streams).
+    pub removed: Vec<NodeId>,
+    /// `(instance, node)` exposure events in execution order.
+    pub exposed_history: Vec<(usize, NodeId)>,
+    /// Per-instance time beyond Phase 1 (the overhead the `f(f+1)` bound
+    /// amortizes away).
+    pub amortized_overhead: f64,
+    /// Agreement + validity held in every instance.
+    pub all_correct: bool,
+    /// `γ_k` of the first instance.
+    pub gamma1: u64,
+    /// `ρ_k` of the first instance.
+    pub rho1: u64,
+    /// The paper's bounds, when the scenario asked for them.
+    pub bounds: Option<JobBounds>,
+}
+
+/// One job's parameters and outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Grid position.
+    pub index: usize,
+    /// Node count.
+    pub n: usize,
+    /// Capacity scale.
+    pub cap: u64,
+    /// Fault bound.
+    pub f: usize,
+    /// Symbols per value.
+    pub symbols: usize,
+    /// Seed repetition index.
+    pub seed_index: u64,
+    /// Derived job seed.
+    pub seed: u64,
+    /// The fault placement used (the worst one, for search schedules; the
+    /// first erroring one when every candidate failed).
+    pub faulty: Vec<NodeId>,
+    /// Fault placements evaluated.
+    pub candidates_tried: usize,
+    /// Candidate placements whose measurement errored (a worst-case
+    /// search never silently drops them — see [`crate::sweep::run_job`]).
+    pub candidates_failed: usize,
+    /// The first candidate failure (placement + reason), if any.
+    pub candidate_error: Option<String>,
+    /// Metrics, or why the grid point was rejected.
+    pub result: Result<JobMetrics, String>,
+}
+
+/// Whole-sweep summary statistics (over successfully measured jobs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// Total jobs in the grid.
+    pub jobs: usize,
+    /// Jobs measured successfully.
+    pub ok_jobs: usize,
+    /// Jobs rejected (impossible grid points).
+    pub rejected_jobs: usize,
+    /// Instances across all measured jobs.
+    pub total_instances: usize,
+    /// Bits across all measured jobs.
+    pub total_bits: u64,
+    /// Simulated time across all measured jobs.
+    pub total_time: f64,
+    /// Unweighted mean of per-job throughput.
+    pub mean_throughput: f64,
+    /// Minimum per-job throughput.
+    pub min_throughput: f64,
+    /// Maximum per-job throughput.
+    pub max_throughput: f64,
+    /// Dispute-control executions across all jobs.
+    pub total_dispute_rounds: usize,
+    /// Largest per-job dispute count.
+    pub max_dispute_rounds: usize,
+    /// Whether any job exceeded its `f(f+1)` dispute budget.
+    pub dispute_budget_violated: bool,
+    /// Agreement + validity held in every instance of every job.
+    pub all_correct: bool,
+    /// Total exposure events.
+    pub exposed_nodes: usize,
+}
+
+impl Aggregate {
+    /// Computes the aggregate over a slice of outcomes (deterministic:
+    /// pure folds in index order).
+    pub fn from_outcomes(outcomes: &[JobOutcome]) -> Aggregate {
+        let mut agg = Aggregate {
+            jobs: outcomes.len(),
+            ok_jobs: 0,
+            rejected_jobs: 0,
+            total_instances: 0,
+            total_bits: 0,
+            total_time: 0.0,
+            mean_throughput: 0.0,
+            min_throughput: f64::INFINITY,
+            max_throughput: 0.0,
+            total_dispute_rounds: 0,
+            max_dispute_rounds: 0,
+            dispute_budget_violated: false,
+            all_correct: true,
+            exposed_nodes: 0,
+        };
+        let mut throughput_sum = 0.0;
+        for outcome in outcomes {
+            match &outcome.result {
+                Ok(m) => {
+                    agg.ok_jobs += 1;
+                    agg.total_instances += m.instances;
+                    agg.total_bits += m.total_bits;
+                    agg.total_time += m.total_time;
+                    throughput_sum += m.throughput;
+                    agg.min_throughput = agg.min_throughput.min(m.throughput);
+                    agg.max_throughput = agg.max_throughput.max(m.throughput);
+                    agg.total_dispute_rounds += m.dispute_rounds;
+                    agg.max_dispute_rounds = agg.max_dispute_rounds.max(m.dispute_rounds);
+                    if m.dispute_budget_exceeded {
+                        agg.dispute_budget_violated = true;
+                    }
+                    if !m.all_correct {
+                        agg.all_correct = false;
+                    }
+                    agg.exposed_nodes += m.exposed_history.len();
+                }
+                Err(_) => agg.rejected_jobs += 1,
+            }
+        }
+        if agg.ok_jobs > 0 {
+            agg.mean_throughput = throughput_sum / agg.ok_jobs as f64;
+        } else {
+            agg.min_throughput = 0.0;
+        }
+        agg
+    }
+}
+
+/// The full result of running a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Canonical topology spec string.
+    pub topology: String,
+    /// Canonical adversary spec string.
+    pub adversary: String,
+    /// Canonical fault-schedule spec string.
+    pub faults: String,
+    /// Per-job outcomes in grid order.
+    pub jobs: Vec<JobOutcome>,
+    /// Whole-sweep summary.
+    pub aggregate: Aggregate,
+}
+
+impl SweepReport {
+    /// Serializes to compact JSON. Byte-identical for identical sweeps
+    /// regardless of worker-thread count.
+    pub fn to_json(&self) -> String {
+        self.json_value().render()
+    }
+
+    /// Serializes to pretty-printed JSON (same determinism guarantee).
+    pub fn to_json_pretty(&self) -> String {
+        self.json_value().render_pretty()
+    }
+
+    fn json_value(&self) -> Json {
+        Json::obj(vec![
+            ("scenario", Json::str(&self.scenario)),
+            ("topology", Json::str(&self.topology)),
+            ("adversary", Json::str(&self.adversary)),
+            ("faults", Json::str(&self.faults)),
+            ("jobs", Json::Arr(self.jobs.iter().map(job_json).collect())),
+            ("aggregate", aggregate_json(&self.aggregate)),
+        ])
+    }
+
+    /// A terminal-friendly summary table of the per-job outcomes.
+    pub fn summary_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "  job |  n | cap | f | symbols | seed# | faulty      | throughput | disputes | ok\n",
+        );
+        out.push_str(
+            "------+----+-----+---+---------+-------+-------------+------------+----------+----\n",
+        );
+        for job in &self.jobs {
+            let faulty = format!("{:?}", job.faulty);
+            match &job.result {
+                Ok(m) => out.push_str(&format!(
+                    "{:>5} | {:>2} | {:>3} | {} | {:>7} | {:>5} | {:<11} | {:>10.3} | {:>8} | {}\n",
+                    job.index,
+                    job.n,
+                    job.cap,
+                    job.f,
+                    job.symbols,
+                    job.seed_index,
+                    faulty,
+                    m.throughput,
+                    m.dispute_rounds,
+                    if m.all_correct { "yes" } else { "NO" },
+                )),
+                Err(e) => out.push_str(&format!(
+                    "{:>5} | {:>2} | {:>3} | {} | {:>7} | {:>5} | {:<11} | {:>10} | {:>8} | --  ({e})\n",
+                    job.index, job.n, job.cap, job.f, job.symbols, job.seed_index, faulty, "rejected", "-",
+                )),
+            }
+        }
+        out
+    }
+}
+
+fn job_json(job: &JobOutcome) -> Json {
+    let mut pairs = vec![
+        ("index", Json::U64(job.index as u64)),
+        ("n", Json::U64(job.n as u64)),
+        ("cap", Json::U64(job.cap)),
+        ("f", Json::U64(job.f as u64)),
+        ("symbols", Json::U64(job.symbols as u64)),
+        ("seed_index", Json::U64(job.seed_index)),
+        ("seed", Json::U64(job.seed)),
+        (
+            "faulty",
+            Json::Arr(job.faulty.iter().map(|&v| Json::U64(v as u64)).collect()),
+        ),
+        ("candidates_tried", Json::U64(job.candidates_tried as u64)),
+    ];
+    if job.candidates_failed > 0 {
+        pairs.push(("candidates_failed", Json::U64(job.candidates_failed as u64)));
+        if let Some(e) = &job.candidate_error {
+            pairs.push(("candidate_error", Json::str(e)));
+        }
+    }
+    match &job.result {
+        Ok(m) => pairs.push(("metrics", metrics_json(m))),
+        Err(e) => pairs.push(("error", Json::str(e))),
+    }
+    Json::obj(pairs)
+}
+
+fn metrics_json(m: &JobMetrics) -> Json {
+    let mut pairs = vec![
+        ("instances", Json::U64(m.instances as u64)),
+        ("total_bits", Json::U64(m.total_bits)),
+        ("total_time", Json::F64(m.total_time)),
+        ("throughput", Json::F64(m.throughput)),
+        (
+            "steady_throughput",
+            m.steady_throughput.map(Json::F64).unwrap_or(Json::Null),
+        ),
+        ("phase1_time", Json::F64(m.phase1_time)),
+        ("equality_time", Json::F64(m.equality_time)),
+        ("flags_time", Json::F64(m.flags_time)),
+        ("dispute_time", Json::F64(m.dispute_time)),
+        ("dispute_rounds", Json::U64(m.dispute_rounds as u64)),
+        ("dispute_budget", Json::U64(m.dispute_budget as u64)),
+        (
+            "dispute_budget_exceeded",
+            Json::Bool(m.dispute_budget_exceeded),
+        ),
+        ("mismatch_instances", Json::U64(m.mismatch_instances as u64)),
+        (
+            "defaulted_instances",
+            Json::U64(m.defaulted_instances as u64),
+        ),
+        (
+            "pairs",
+            Json::Arr(
+                m.pairs
+                    .iter()
+                    .map(|&(a, b)| Json::Arr(vec![Json::U64(a as u64), Json::U64(b as u64)]))
+                    .collect(),
+            ),
+        ),
+        (
+            "removed",
+            Json::Arr(m.removed.iter().map(|&v| Json::U64(v as u64)).collect()),
+        ),
+        (
+            "exposed_history",
+            Json::Arr(
+                m.exposed_history
+                    .iter()
+                    .map(|&(i, v)| Json::Arr(vec![Json::U64(i as u64), Json::U64(v as u64)]))
+                    .collect(),
+            ),
+        ),
+        ("amortized_overhead", Json::F64(m.amortized_overhead)),
+        ("all_correct", Json::Bool(m.all_correct)),
+        ("gamma1", Json::U64(m.gamma1)),
+        ("rho1", Json::U64(m.rho1)),
+    ];
+    if let Some(b) = &m.bounds {
+        pairs.push((
+            "bounds",
+            Json::obj(vec![
+                ("eq6_lower", Json::F64(b.eq6_lower)),
+                ("thm2_upper", Json::U64(b.thm2_upper)),
+                ("fraction_of_lower", Json::F64(b.fraction_of_lower)),
+                ("fraction_of_upper", Json::F64(b.fraction_of_upper)),
+            ]),
+        ));
+    }
+    Json::obj(pairs)
+}
+
+fn aggregate_json(a: &Aggregate) -> Json {
+    Json::obj(vec![
+        ("jobs", Json::U64(a.jobs as u64)),
+        ("ok_jobs", Json::U64(a.ok_jobs as u64)),
+        ("rejected_jobs", Json::U64(a.rejected_jobs as u64)),
+        ("total_instances", Json::U64(a.total_instances as u64)),
+        ("total_bits", Json::U64(a.total_bits)),
+        ("total_time", Json::F64(a.total_time)),
+        ("mean_throughput", Json::F64(a.mean_throughput)),
+        ("min_throughput", Json::F64(a.min_throughput)),
+        ("max_throughput", Json::F64(a.max_throughput)),
+        (
+            "total_dispute_rounds",
+            Json::U64(a.total_dispute_rounds as u64),
+        ),
+        ("max_dispute_rounds", Json::U64(a.max_dispute_rounds as u64)),
+        (
+            "dispute_budget_violated",
+            Json::Bool(a.dispute_budget_violated),
+        ),
+        ("all_correct", Json::Bool(a.all_correct)),
+        ("exposed_nodes", Json::U64(a.exposed_nodes as u64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> JobMetrics {
+        JobMetrics {
+            instances: 2,
+            total_bits: 256,
+            total_time: 64.0,
+            throughput: 4.0,
+            steady_throughput: Some(4.0),
+            phase1_time: 32.0,
+            equality_time: 16.0,
+            flags_time: 16.0,
+            dispute_time: 0.0,
+            dispute_rounds: 0,
+            dispute_budget: 2,
+            dispute_budget_exceeded: false,
+            mismatch_instances: 0,
+            defaulted_instances: 0,
+            pairs: vec![(1, 2)],
+            removed: vec![2],
+            exposed_history: vec![(0, 2)],
+            amortized_overhead: 16.0,
+            all_correct: true,
+            gamma1: 6,
+            rho1: 4,
+            bounds: None,
+        }
+    }
+
+    fn outcome(index: usize, result: Result<JobMetrics, String>) -> JobOutcome {
+        JobOutcome {
+            index,
+            n: 4,
+            cap: 2,
+            f: 1,
+            symbols: 8,
+            seed_index: 0,
+            seed: 9,
+            faulty: vec![2],
+            candidates_tried: 1,
+            candidates_failed: 0,
+            candidate_error: None,
+            result,
+        }
+    }
+
+    #[test]
+    fn aggregate_folds_ok_and_rejected() {
+        let outcomes = vec![
+            outcome(0, Ok(metrics())),
+            outcome(1, Err("nope".into())),
+            outcome(
+                2,
+                Ok(JobMetrics {
+                    throughput: 2.0,
+                    all_correct: false,
+                    dispute_rounds: 3,
+                    dispute_budget_exceeded: true,
+                    ..metrics()
+                }),
+            ),
+        ];
+        let a = Aggregate::from_outcomes(&outcomes);
+        assert_eq!((a.jobs, a.ok_jobs, a.rejected_jobs), (3, 2, 1));
+        assert_eq!(a.mean_throughput, 3.0);
+        assert_eq!((a.min_throughput, a.max_throughput), (2.0, 4.0));
+        assert!(!a.all_correct);
+        assert!(a.dispute_budget_violated, "3 > budget 2");
+        assert_eq!(a.exposed_nodes, 2);
+    }
+
+    #[test]
+    fn empty_aggregate_is_zeroed() {
+        let a = Aggregate::from_outcomes(&[]);
+        assert_eq!(a.min_throughput, 0.0);
+        assert_eq!(a.mean_throughput, 0.0);
+        assert!(a.all_correct);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let report = SweepReport {
+            scenario: "s".into(),
+            topology: "complete:$n:$cap".into(),
+            adversary: "honest".into(),
+            faults: "none".into(),
+            jobs: vec![outcome(0, Ok(metrics())), outcome(1, Err("bad".into()))],
+            aggregate: Aggregate::from_outcomes(&[outcome(0, Ok(metrics()))]),
+        };
+        let j = report.to_json();
+        assert!(j.starts_with("{\"scenario\":\"s\""));
+        assert!(j.contains("\"metrics\":{\"instances\":2"));
+        assert!(j.contains("\"error\":\"bad\""));
+        // Candidate-failure fields only appear when a placement errored.
+        assert!(!j.contains("candidates_failed"));
+        let mut failing = outcome(2, Ok(metrics()));
+        failing.candidates_failed = 1;
+        failing.candidate_error = Some("placement [0]: boom".into());
+        let solo = SweepReport {
+            jobs: vec![failing],
+            ..report.clone()
+        };
+        let j3 = solo.to_json();
+        assert!(j3.contains("\"candidates_failed\":1"));
+        assert!(j3.contains("\"candidate_error\":\"placement [0]: boom\""));
+        assert!(j.contains("\"pairs\":[[1,2]]"));
+        assert!(j.contains("\"aggregate\":{"));
+        // Pretty form carries the same data.
+        assert!(report.to_json_pretty().contains("\"throughput\": 4.0"));
+        // The table renders one line per job.
+        let t = report.summary_table();
+        assert!(t.contains("rejected"));
+        assert!(t.lines().count() >= 4);
+    }
+}

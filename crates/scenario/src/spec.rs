@@ -1,0 +1,240 @@
+//! The declarative scenario specification.
+//!
+//! A [`ScenarioSpec`] describes a whole *family* of NAB executions: a
+//! parameterized topology, a fault placement schedule, an adversary
+//! strategy, a broadcast backend, a workload shape, and the grid of
+//! parameters (`n`, `cap`, `f`, `symbols`, seed repetitions) the sweep
+//! runner expands into jobs. Build one in Rust with the chainable
+//! `with_*` methods, or load one from a `.scenario` file via
+//! [`crate::parse`].
+
+use nab::BroadcastKind;
+
+use crate::adversary::AdversarySpec;
+use crate::faults::FaultSchedule;
+use crate::topology::TopologyTemplate;
+
+/// A declarative fault/workload scenario (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (reported in the sweep JSON).
+    pub name: String,
+    /// Parameterized topology family.
+    pub topology: TopologyTemplate,
+    /// Classic-BB backend for flag/claim broadcasts.
+    pub broadcast: BroadcastKind,
+    /// Byzantine strategy of the faulty nodes.
+    pub adversary: AdversarySpec,
+    /// Fault placement schedule.
+    pub faults: FaultSchedule,
+    /// Broadcast instances per job (the paper's `Q`).
+    pub q: usize,
+    /// Interleaved independent broadcast streams per job (each stream is
+    /// its own engine; instances alternate round-robin).
+    pub streams: usize,
+    /// Grid axis: node counts substituted for `$n`.
+    pub n: Vec<usize>,
+    /// Grid axis: capacity scales substituted for `$cap`.
+    pub cap: Vec<u64>,
+    /// Grid axis: fault bounds substituted for `$f` / `2f+1`.
+    pub f: Vec<usize>,
+    /// Grid axis: input sizes in 16-bit symbols.
+    pub symbols: Vec<usize>,
+    /// Seed repetitions per grid point (seed indices `0..seeds`).
+    pub seeds: u64,
+    /// Base seed all per-job seeds derive from.
+    pub seed0: u64,
+    /// Whether each job also computes the paper's bounds (Eq. 6 lower,
+    /// Theorem 2 upper) for comparison — costs extra per job.
+    pub bounds: bool,
+    /// Enumeration budget for `γ*` when `bounds` is on.
+    pub bounds_budget: usize,
+    /// Default worker threads (`0` = one per available CPU); the CLI
+    /// `--threads` flag overrides this.
+    pub threads: usize,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            name: "unnamed".into(),
+            topology: TopologyTemplate::Complete {
+                n: crate::topology::Tok::N,
+                cap: crate::topology::Tok::Cap,
+            },
+            broadcast: BroadcastKind::default(),
+            adversary: AdversarySpec::Honest,
+            faults: FaultSchedule::None,
+            q: 8,
+            streams: 1,
+            n: vec![4],
+            cap: vec![2],
+            f: vec![1],
+            symbols: vec![16],
+            seeds: 1,
+            seed0: 7,
+            bounds: false,
+            bounds_budget: 1 << 14,
+            threads: 0,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// A default spec with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            ..ScenarioSpec::default()
+        }
+    }
+
+    /// Sets the topology family.
+    pub fn with_topology(mut self, t: TopologyTemplate) -> Self {
+        self.topology = t;
+        self
+    }
+
+    /// Sets the broadcast backend.
+    pub fn with_broadcast(mut self, b: BroadcastKind) -> Self {
+        self.broadcast = b;
+        self
+    }
+
+    /// Sets the adversary strategy.
+    pub fn with_adversary(mut self, a: AdversarySpec) -> Self {
+        self.adversary = a;
+        self
+    }
+
+    /// Sets the fault schedule.
+    pub fn with_faults(mut self, f: FaultSchedule) -> Self {
+        self.faults = f;
+        self
+    }
+
+    /// Sets instances per job.
+    pub fn with_q(mut self, q: usize) -> Self {
+        self.q = q;
+        self
+    }
+
+    /// Sets interleaved streams per job.
+    pub fn with_streams(mut self, s: usize) -> Self {
+        self.streams = s;
+        self
+    }
+
+    /// Sets the `$n` grid axis.
+    pub fn with_n(mut self, n: Vec<usize>) -> Self {
+        self.n = n;
+        self
+    }
+
+    /// Sets the `$cap` grid axis.
+    pub fn with_cap(mut self, cap: Vec<u64>) -> Self {
+        self.cap = cap;
+        self
+    }
+
+    /// Sets the `$f` grid axis.
+    pub fn with_f(mut self, f: Vec<usize>) -> Self {
+        self.f = f;
+        self
+    }
+
+    /// Sets the symbols grid axis.
+    pub fn with_symbols(mut self, symbols: Vec<usize>) -> Self {
+        self.symbols = symbols;
+        self
+    }
+
+    /// Sets seed repetitions per grid point.
+    pub fn with_seeds(mut self, seeds: u64) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn with_seed0(mut self, seed0: u64) -> Self {
+        self.seed0 = seed0;
+        self
+    }
+
+    /// Enables or disables per-job bound computation.
+    pub fn with_bounds(mut self, on: bool) -> Self {
+        self.bounds = on;
+        self
+    }
+
+    /// Validates cross-field consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("scenario name must not be empty".into());
+        }
+        if self.q == 0 {
+            return Err("q must be ≥ 1".into());
+        }
+        if self.streams == 0 {
+            return Err("streams must be ≥ 1".into());
+        }
+        if self.seeds == 0 {
+            return Err("seeds must be ≥ 1".into());
+        }
+        for axis in [
+            ("n", self.n.is_empty()),
+            ("cap", self.cap.is_empty()),
+            ("f", self.f.is_empty()),
+            ("symbols", self.symbols.is_empty()),
+        ] {
+            if axis.1 {
+                return Err(format!("grid axis {:?} must not be empty", axis.0));
+            }
+        }
+        if self.symbols.contains(&0) {
+            return Err("symbols entries must be ≥ 1".into());
+        }
+        Ok(())
+    }
+
+    /// Total jobs the grid expands to.
+    pub fn job_count(&self) -> usize {
+        self.n.len() * self.cap.len() * self.f.len() * self.symbols.len() * self.seeds as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes() {
+        let s = ScenarioSpec::new("t")
+            .with_topology(TopologyTemplate::Figure1a)
+            .with_adversary(AdversarySpec::Corruptor)
+            .with_faults(FaultSchedule::Rotating { count: 1 })
+            .with_q(4)
+            .with_n(vec![4, 5])
+            .with_cap(vec![1, 2])
+            .with_f(vec![1])
+            .with_symbols(vec![8, 16])
+            .with_seeds(3)
+            .with_seed0(99);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.job_count(), 2 * 2 * 2 * 3);
+    }
+
+    #[test]
+    fn validation_catches_empty_axes() {
+        let s = ScenarioSpec::new("t").with_n(vec![]);
+        assert!(s.validate().unwrap_err().contains("\"n\""));
+        let s = ScenarioSpec::new("t").with_q(0);
+        assert!(s.validate().is_err());
+        let s = ScenarioSpec::new("t").with_symbols(vec![0]);
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,625 @@
+//! Grid expansion and the parallel sweep runner.
+//!
+//! A scenario's grid (`n × cap × f × symbols × seeds`) expands into
+//! [`Job`]s in a fixed deterministic order. Jobs are fully independent:
+//! every random choice a job makes (topology, inputs, adversary coin
+//! flips) derives from a per-job seed mixed from `seed0` and the job
+//! index, so a sweep produces **bit-identical results for any worker
+//! thread count** — the property the determinism property tests pin down.
+//!
+//! Execution uses a work-stealing loop over `std::thread::scope`: an
+//! atomic cursor hands out job indices, each worker writes its result
+//! into the job's slot, and the report assembles slots in index order.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use nab::adversary::NabAdversary;
+use nab::bounds::bounds_report;
+use nab::dispute::DisputeState;
+use nab::engine::{instance_correct, NabConfig, NabEngine, SOURCE};
+use nab::value::{Value, SYMBOL_BITS};
+use nab_netgraph::{DiGraph, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::{Aggregate, JobBounds, JobMetrics, JobOutcome, SweepReport};
+use crate::spec::ScenarioSpec;
+use crate::topology::ResolveCtx;
+
+/// One grid point of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Job {
+    /// Position in the expanded grid (stable across thread counts).
+    pub index: usize,
+    /// Node count (`$n`).
+    pub n: usize,
+    /// Capacity scale (`$cap`).
+    pub cap: u64,
+    /// Fault bound (`$f`).
+    pub f: usize,
+    /// Input size in 16-bit symbols.
+    pub symbols: usize,
+    /// Seed repetition index (`0..spec.seeds`).
+    pub seed_index: u64,
+    /// The job's derived deterministic seed.
+    pub seed: u64,
+}
+
+/// SplitMix64-style mixing for per-job seed derivation.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Expands a scenario's grid into jobs, in deterministic order
+/// (`n`, then `cap`, then `f`, then `symbols`, then seed index).
+pub fn expand_jobs(spec: &ScenarioSpec) -> Vec<Job> {
+    let mut jobs = Vec::with_capacity(spec.job_count());
+    for &n in &spec.n {
+        for &cap in &spec.cap {
+            for &f in &spec.f {
+                for &symbols in &spec.symbols {
+                    for seed_index in 0..spec.seeds {
+                        let index = jobs.len();
+                        jobs.push(Job {
+                            index,
+                            n,
+                            cap,
+                            f,
+                            symbols,
+                            seed_index,
+                            seed: mix(spec.seed0, index as u64),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    jobs
+}
+
+/// Runs every job of a scenario across `threads` workers and aggregates
+/// the results.
+///
+/// `threads = 0` uses one worker per available CPU. Results are
+/// independent of the worker count.
+///
+/// # Errors
+///
+/// Returns the scenario validation failure, if any; per-job failures
+/// (impossible grid points, rejected networks) are recorded in the
+/// report instead of aborting the sweep.
+pub fn run_sweep(spec: &ScenarioSpec, threads: usize) -> Result<SweepReport, String> {
+    spec.validate()?;
+    let jobs = expand_jobs(spec);
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(jobs.len())
+    .max(1);
+
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<JobOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let outcome = run_job(spec, &jobs[i]);
+                *slots[i].lock().expect("job slot poisoned") = Some(outcome);
+            });
+        }
+    });
+    let outcomes: Vec<JobOutcome> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("job slot poisoned")
+                .expect("worker loop covered every job")
+        })
+        .collect();
+
+    let aggregate = Aggregate::from_outcomes(&outcomes);
+    Ok(SweepReport {
+        scenario: spec.name.clone(),
+        topology: spec.topology.spec_string(),
+        adversary: spec.adversary.spec_string(),
+        faults: spec.faults.spec_string(),
+        jobs: outcomes,
+        aggregate,
+    })
+}
+
+/// Runs one job: materializes its graph, resolves the fault placement
+/// (searching candidates for worst-case schedules), and measures.
+pub fn run_job(spec: &ScenarioSpec, job: &Job) -> JobOutcome {
+    let mut outcome = JobOutcome {
+        index: job.index,
+        n: job.n,
+        cap: job.cap,
+        f: job.f,
+        symbols: job.symbols,
+        seed_index: job.seed_index,
+        seed: job.seed,
+        faulty: Vec::new(),
+        candidates_tried: 0,
+        candidates_failed: 0,
+        candidate_error: None,
+        result: Err("unresolved".into()),
+    };
+    let ctx = ResolveCtx {
+        n: job.n,
+        cap: job.cap,
+        f: job.f,
+        seed: job.seed,
+    };
+    let graph = match spec.topology.build(&ctx) {
+        Ok(g) => g,
+        Err(e) => {
+            outcome.result = Err(format!("topology rejected: {e}"));
+            return outcome;
+        }
+    };
+    let candidates = spec.faults.candidates(graph.node_count(), job.seed_index);
+    if candidates.is_empty() {
+        outcome.result = Err(format!(
+            "fault schedule {} has no valid placement on {} nodes",
+            spec.faults.spec_string(),
+            graph.node_count()
+        ));
+        return outcome;
+    }
+    if spec.faults.fault_count() > job.f {
+        outcome.result = Err(format!(
+            "fault schedule places {} nodes but the job's fault bound is f={}",
+            spec.faults.fault_count(),
+            job.f
+        ));
+        return outcome;
+    }
+
+    // Worst-case search: measure every candidate placement, keep the
+    // throughput minimizer (ties break to the earlier candidate, which is
+    // deterministic because candidate order is). A candidate whose
+    // measurement errors is arguably the *most* damaging placement, so it
+    // is never silently dropped: the failure count and first error travel
+    // in the outcome even when other candidates succeed.
+    let mut worst: Option<(BTreeSet<NodeId>, JobMetrics)> = None;
+    let mut first_err: Option<(Vec<NodeId>, String)> = None;
+    for faulty in &candidates {
+        match measure(spec, job, &graph, faulty) {
+            Ok(metrics) => {
+                let replace = match &worst {
+                    None => true,
+                    Some((_, best)) => metrics.throughput < best.throughput,
+                };
+                if replace {
+                    worst = Some((faulty.clone(), metrics));
+                }
+            }
+            Err(e) => {
+                outcome.candidates_failed += 1;
+                if first_err.is_none() {
+                    first_err = Some((faulty.iter().copied().collect(), e));
+                }
+            }
+        }
+    }
+    outcome.candidates_tried = candidates.len();
+    outcome.candidate_error = first_err
+        .as_ref()
+        .map(|(faulty, e)| format!("placement {faulty:?}: {e}"));
+    match worst {
+        Some((faulty, metrics)) => {
+            outcome.faulty = faulty.into_iter().collect();
+            outcome.result = Ok(metrics);
+        }
+        None => {
+            let (faulty, e) =
+                first_err.unwrap_or_else(|| (Vec::new(), "no candidate measured".into()));
+            outcome.faulty = faulty;
+            outcome.result = Err(e);
+        }
+    }
+    outcome
+}
+
+/// Measures one (graph, faulty-set) pair: `spec.streams` interleaved
+/// engines, `spec.q` instances each.
+fn measure(
+    spec: &ScenarioSpec,
+    job: &Job,
+    graph: &DiGraph,
+    faulty: &BTreeSet<NodeId>,
+) -> Result<JobMetrics, String> {
+    spec.adversary.validate_for(graph.node_count(), faulty)?;
+    let cfg = NabConfig {
+        f: job.f,
+        symbols: job.symbols,
+        seed: job.seed,
+    };
+    let mut engines = Vec::with_capacity(spec.streams);
+    let mut advs: Vec<Box<dyn NabAdversary>> = Vec::with_capacity(spec.streams);
+    let mut input_rngs = Vec::with_capacity(spec.streams);
+    for s in 0..spec.streams as u64 {
+        let mut engine =
+            NabEngine::new(graph.clone(), cfg).map_err(|e| format!("network rejected: {e}"))?;
+        engine.set_broadcast_kind(spec.broadcast);
+        engines.push(engine);
+        advs.push(spec.adversary.build(mix(job.seed, 0x0ADu64 ^ s)));
+        input_rngs.push(StdRng::seed_from_u64(mix(job.seed, 0x1A7u64 ^ s)));
+    }
+
+    let bits_per_instance = job.symbols as u64 * SYMBOL_BITS;
+    let mut metrics = JobMetrics {
+        instances: 0,
+        total_bits: 0,
+        total_time: 0.0,
+        throughput: 0.0,
+        steady_throughput: None,
+        phase1_time: 0.0,
+        equality_time: 0.0,
+        flags_time: 0.0,
+        dispute_time: 0.0,
+        dispute_rounds: 0,
+        // Each stream is an independent deployment with its own f(f+1)
+        // dispute budget; the job-level budget is their sum. Per-stream
+        // compliance is checked once the traces are complete.
+        dispute_budget: spec.streams * DisputeState::max_executions(job.f),
+        dispute_budget_exceeded: false,
+        mismatch_instances: 0,
+        defaulted_instances: 0,
+        pairs: Vec::new(),
+        removed: Vec::new(),
+        exposed_history: Vec::new(),
+        amortized_overhead: 0.0,
+        all_correct: true,
+        gamma1: 0,
+        rho1: 0,
+        bounds: None,
+    };
+    // Per-stream instance trace for the steady-state tail:
+    // (time, useful bits, disputed). A defaulted instance (source already
+    // exposed) delivers the default value, not the payload, at zero
+    // simulated cost — it must count zero useful bits, or source-faulty
+    // placements would report *inflated* throughput and a worst-case
+    // search would never select them.
+    let mut traces: Vec<Vec<(f64, u64, bool)>> = vec![Vec::new(); spec.streams];
+
+    for inst in 0..spec.q {
+        for s in 0..spec.streams {
+            let input = Value::random(job.symbols, &mut input_rngs[s]);
+            let rep = engines[s]
+                .run_instance(&input, faulty, advs[s].as_mut())
+                .map_err(|e| format!("instance failed: {e}"))?;
+            let global_inst = inst * spec.streams + s;
+            if global_inst == 0 {
+                metrics.gamma1 = rep.gamma_k;
+                metrics.rho1 = rep.rho_k;
+            }
+            let t = rep.times.total();
+            let useful_bits = if rep.defaulted { 0 } else { bits_per_instance };
+            metrics.instances += 1;
+            metrics.total_bits += useful_bits;
+            metrics.total_time += t;
+            metrics.phase1_time += rep.times.phase1;
+            metrics.equality_time += rep.times.equality;
+            metrics.flags_time += rep.times.flags;
+            metrics.dispute_time += rep.times.dispute;
+            metrics.dispute_rounds += usize::from(rep.dispute_ran);
+            metrics.mismatch_instances += usize::from(rep.mismatch_detected);
+            metrics.defaulted_instances += usize::from(rep.defaulted);
+            for &v in &rep.newly_removed {
+                metrics.exposed_history.push((global_inst, v));
+            }
+            traces[s].push((t, useful_bits, rep.dispute_ran));
+
+            if !instance_correct(&rep, faulty, &input) {
+                metrics.all_correct = false;
+            }
+        }
+    }
+
+    // Accumulated dispute state across streams.
+    let mut pairs = BTreeSet::new();
+    let mut removed = BTreeSet::new();
+    for engine in &engines {
+        pairs.extend(engine.disputes().pairs.iter().copied());
+        removed.extend(engine.disputes().removed.iter().copied());
+    }
+    metrics.pairs = pairs.into_iter().collect();
+    metrics.removed = removed.into_iter().collect();
+
+    metrics.throughput = if metrics.total_time > 0.0 {
+        metrics.total_bits as f64 / metrics.total_time
+    } else {
+        0.0
+    };
+    let per_stream_budget = DisputeState::max_executions(job.f);
+    metrics.dispute_budget_exceeded = traces
+        .iter()
+        .any(|t| t.iter().filter(|&&(_, _, d)| d).count() > per_stream_budget);
+    // Steady state: instances after each stream's last dispute round —
+    // the regime the paper's f(f+1) amortization argument converges to.
+    // Like the overall figure, it counts useful bits only.
+    let mut steady_time = 0.0;
+    let mut steady_bits = 0u64;
+    for trace in &traces {
+        let tail_start = trace
+            .iter()
+            .rposition(|&(_, _, disputed)| disputed)
+            .map(|p| p + 1)
+            .unwrap_or(0);
+        for &(t, bits, _) in &trace[tail_start..] {
+            steady_time += t;
+            steady_bits += bits;
+        }
+    }
+    if steady_bits > 0 && steady_time > 0.0 {
+        metrics.steady_throughput = Some(steady_bits as f64 / steady_time);
+    }
+    // Amortized overhead: time beyond the optimal unreliable broadcast
+    // (everything Phase 2/3 adds), per instance.
+    metrics.amortized_overhead = if metrics.instances > 0 {
+        (metrics.total_time - metrics.phase1_time) / metrics.instances as f64
+    } else {
+        0.0
+    };
+
+    if spec.bounds {
+        metrics.bounds =
+            bounds_report(graph, SOURCE, job.f, spec.bounds_budget).map(|r| JobBounds {
+                eq6_lower: r.tnab_lower,
+                thm2_upper: r.capacity_upper,
+                fraction_of_lower: if r.tnab_lower > 0.0 {
+                    metrics.throughput / r.tnab_lower
+                } else {
+                    0.0
+                },
+                fraction_of_upper: if r.capacity_upper > 0 {
+                    metrics.throughput / r.capacity_upper as f64
+                } else {
+                    0.0
+                },
+            });
+    }
+    Ok(metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::AdversarySpec;
+    use crate::faults::FaultSchedule;
+    use crate::spec::ScenarioSpec;
+    use crate::topology::{Tok, TopologyTemplate};
+
+    fn small_spec() -> ScenarioSpec {
+        ScenarioSpec::new("unit")
+            .with_topology(TopologyTemplate::Complete {
+                n: Tok::N,
+                cap: Tok::Cap,
+            })
+            .with_q(2)
+            .with_n(vec![4, 5])
+            .with_cap(vec![1, 2])
+            .with_symbols(vec![8])
+            .with_seeds(2)
+    }
+
+    #[test]
+    fn grid_expansion_order_and_seeds_are_stable() {
+        let jobs = expand_jobs(&small_spec());
+        assert_eq!(jobs.len(), 8);
+        assert_eq!((jobs[0].n, jobs[0].cap, jobs[0].seed_index), (4, 1, 0));
+        assert_eq!((jobs[1].n, jobs[1].cap, jobs[1].seed_index), (4, 1, 1));
+        assert_eq!((jobs[2].n, jobs[2].cap, jobs[2].seed_index), (4, 2, 0));
+        assert_eq!((jobs[7].n, jobs[7].cap, jobs[7].seed_index), (5, 2, 1));
+        // Seeds differ per job but reproduce exactly.
+        let again = expand_jobs(&small_spec());
+        assert_eq!(jobs, again);
+        let seeds: BTreeSet<u64> = jobs.iter().map(|j| j.seed).collect();
+        assert_eq!(seeds.len(), 8);
+    }
+
+    #[test]
+    fn fault_free_sweep_measures_throughput() {
+        let report = run_sweep(&small_spec(), 1).unwrap();
+        assert_eq!(report.jobs.len(), 8);
+        assert_eq!(report.aggregate.rejected_jobs, 0);
+        assert!(report.aggregate.all_correct);
+        assert_eq!(report.aggregate.total_dispute_rounds, 0);
+        for job in &report.jobs {
+            let m = job.result.as_ref().unwrap();
+            assert!(m.throughput > 0.0);
+            assert_eq!(m.instances, 2);
+            // No disputes → the whole run is steady state.
+            assert_eq!(m.steady_throughput, Some(m.throughput));
+        }
+    }
+
+    #[test]
+    fn corruptor_sweep_finds_disputes_and_stays_correct() {
+        let spec = small_spec()
+            .with_adversary(AdversarySpec::Corruptor)
+            .with_faults(FaultSchedule::Fixed(std::collections::BTreeSet::from([2])))
+            .with_q(3);
+        let report = run_sweep(&spec, 1).unwrap();
+        assert!(report.aggregate.all_correct);
+        assert!(report.aggregate.total_dispute_rounds > 0);
+        for job in &report.jobs {
+            let m = job.result.as_ref().unwrap();
+            assert!(m.dispute_rounds <= m.dispute_budget, "f(f+1) exceeded");
+            // The truthful corruptor gets exposed.
+            assert_eq!(m.removed, vec![2]);
+            assert!(m.exposed_history.iter().any(|&(_, v)| v == 2));
+        }
+    }
+
+    #[test]
+    fn rotating_schedule_covers_distinct_placements() {
+        let spec = small_spec()
+            .with_n(vec![4])
+            .with_cap(vec![2])
+            .with_faults(FaultSchedule::Rotating { count: 1 })
+            .with_adversary(AdversarySpec::Corruptor)
+            .with_seeds(4);
+        let report = run_sweep(&spec, 1).unwrap();
+        let placements: BTreeSet<Vec<usize>> =
+            report.jobs.iter().map(|j| j.faulty.clone()).collect();
+        assert_eq!(placements.len(), 4, "4 seed indices → 4 placements");
+        assert!(report.aggregate.all_correct);
+    }
+
+    #[test]
+    fn worst_case_search_picks_throughput_minimizer() {
+        let spec = small_spec()
+            .with_n(vec![4])
+            .with_cap(vec![2])
+            .with_seeds(1)
+            .with_adversary(AdversarySpec::Corruptor)
+            .with_faults(FaultSchedule::WorstCase {
+                count: 1,
+                max_candidates: 4,
+            });
+        let report = run_sweep(&spec, 1).unwrap();
+        let job = &report.jobs[0];
+        assert_eq!(job.candidates_tried, 4);
+        let chosen = job.result.as_ref().unwrap().throughput;
+        // Verify minimality by re-measuring each candidate.
+        let jobs = expand_jobs(&spec);
+        for cand in spec.faults.candidates(4, 0) {
+            let g = spec
+                .topology
+                .build(&ResolveCtx {
+                    n: 4,
+                    cap: 2,
+                    f: 1,
+                    seed: jobs[0].seed,
+                })
+                .unwrap();
+            let m = measure(&spec, &jobs[0], &g, &cand).unwrap();
+            assert!(chosen <= m.throughput + 1e-12);
+        }
+    }
+
+    #[test]
+    fn worst_case_search_can_select_the_source() {
+        // An equivocating source gets exposed after a couple of disputes;
+        // the remaining instances default with zero *useful* bits. If
+        // defaulted instances counted full payload bits (at zero cost),
+        // the source placement would look artificially fast and the
+        // search would always avoid it.
+        let spec = small_spec()
+            .with_n(vec![4])
+            .with_cap(vec![2])
+            .with_seeds(1)
+            .with_q(6)
+            .with_adversary(AdversarySpec::Equivocate)
+            .with_faults(FaultSchedule::WorstCase {
+                count: 1,
+                max_candidates: 4,
+            });
+        let report = run_sweep(&spec, 1).unwrap();
+        let job = &report.jobs[0];
+        let m = job.result.as_ref().unwrap();
+        assert!(m.all_correct);
+        assert_eq!(
+            job.faulty,
+            vec![0],
+            "a faulty source that stops delivering payload is the worst placement"
+        );
+        assert!(m.defaulted_instances > 0, "exposure defaults the tail");
+        assert_eq!(
+            m.total_bits,
+            (m.instances - m.defaulted_instances) as u64 * 8 * 16,
+            "defaulted instances count zero useful bits"
+        );
+    }
+
+    #[test]
+    fn impossible_grid_points_are_recorded_not_fatal() {
+        // A ring is never 3-connected: engine must reject, sweep must go on.
+        let spec = ScenarioSpec::new("rejects")
+            .with_topology(TopologyTemplate::Ring {
+                n: Tok::N,
+                cap: Tok::Cap,
+            })
+            .with_n(vec![5])
+            .with_cap(vec![1])
+            .with_q(1);
+        let report = run_sweep(&spec, 1).unwrap();
+        assert_eq!(report.aggregate.rejected_jobs, 1);
+        let job = &report.jobs[0];
+        let err = job.result.as_ref().unwrap_err();
+        assert!(err.contains("network rejected"), "{err}");
+        // The failed candidate is accounted for, not silently dropped.
+        assert_eq!(job.candidates_failed, 1);
+        assert!(job.candidate_error.as_ref().unwrap().contains("placement"));
+    }
+
+    #[test]
+    fn fault_count_above_f_is_rejected_cleanly() {
+        let spec = small_spec()
+            .with_faults(FaultSchedule::Fixed(std::collections::BTreeSet::from([
+                1, 2,
+            ])))
+            .with_f(vec![1]);
+        let report = run_sweep(&spec, 1).unwrap();
+        assert_eq!(report.aggregate.rejected_jobs, report.jobs.len());
+        assert!(report.jobs[0]
+            .result
+            .as_ref()
+            .unwrap_err()
+            .contains("fault bound"));
+    }
+
+    #[test]
+    fn streams_interleave_and_scale_bits() {
+        let spec = small_spec()
+            .with_n(vec![4])
+            .with_cap(vec![2])
+            .with_seeds(1)
+            .with_streams(3)
+            .with_q(2);
+        let report = run_sweep(&spec, 1).unwrap();
+        let m = report.jobs[0].result.as_ref().unwrap();
+        assert_eq!(m.instances, 6);
+        assert_eq!(m.total_bits, 6 * 8 * 16);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let spec = small_spec()
+            .with_adversary(AdversarySpec::Random { p: 0.4 })
+            .with_faults(FaultSchedule::Rotating { count: 1 });
+        let a = run_sweep(&spec, 1).unwrap();
+        let b = run_sweep(&spec, 4).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn bounds_attach_when_requested() {
+        let spec = small_spec()
+            .with_n(vec![4])
+            .with_cap(vec![2])
+            .with_seeds(1)
+            .with_bounds(true);
+        let report = run_sweep(&spec, 1).unwrap();
+        let m = report.jobs[0].result.as_ref().unwrap();
+        let b = m.bounds.as_ref().expect("bounds computed");
+        assert!(b.eq6_lower > 0.0);
+        assert!(b.thm2_upper > 0);
+        assert!(b.fraction_of_upper <= 1.0 + 1e-9, "Theorem 2 violated?");
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests pinning down the scenario engine's determinism
+//! guarantee: a `.scenario` document with a fixed seed produces
+//! byte-identical `SweepReport` JSON — run-to-run and for 1 vs. N worker
+//! threads.
+
+use nab_scenario::{parse_str, run_sweep};
+use proptest::prelude::*;
+
+/// Builds a random-but-valid `.scenario` document from drawn parameters.
+#[allow(clippy::too_many_arguments)]
+fn scenario_text(
+    topo: usize,
+    adv: usize,
+    faults: usize,
+    q: usize,
+    symbols: usize,
+    seeds: u64,
+    seed0: u64,
+    streams: usize,
+) -> String {
+    // All families here are valid for n ∈ {4,5} with f = 1.
+    let topology = ["complete:$n:$cap", "hetero:$n:1:$cap", "fig1a", "fig2a"][topo % 4];
+    let adversary = [
+        "honest",
+        "corruptor",
+        "liar",
+        "false-alarm",
+        "garbler",
+        "random:0.4",
+    ][adv % 6];
+    let faults = ["none", "fixed:2", "rotating:1", "worst-case:1:3"][faults % 4];
+    // fig1a/fig2a ignore $n/$cap; grid axes still expand.
+    format!(
+        "name = prop\n\
+         topology = {topology}\n\
+         adversary = {adversary}\n\
+         faults = {faults}\n\
+         q = {q}\n\
+         streams = {streams}\n\
+         n = 4,5\n\
+         cap = 2\n\
+         f = 1\n\
+         symbols = {symbols}\n\
+         seeds = {seeds}\n\
+         seed0 = {seed0}\n"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same document, same seed → byte-identical JSON, twice in a row and
+    /// under 1 vs. 4 worker threads.
+    #[test]
+    fn sweep_json_is_thread_count_invariant(
+        topo in 0usize..4,
+        adv in 0usize..6,
+        faults in 0usize..4,
+        q in 1usize..4,
+        symbols in 4usize..17,
+        seeds in 1u64..3,
+        seed0 in any::<u64>(),
+        streams in 1usize..3,
+    ) {
+        let text = scenario_text(topo, adv, faults, q, symbols, seeds, seed0, streams);
+        let spec = parse_str(&text).unwrap();
+
+        let single = run_sweep(&spec, 1).unwrap();
+        let single_again = run_sweep(&spec, 1).unwrap();
+        let parallel = run_sweep(&spec, 4).unwrap();
+
+        prop_assert_eq!(
+            single.to_json(),
+            single_again.to_json(),
+            "run-to-run determinism"
+        );
+        prop_assert_eq!(
+            single.to_json(),
+            parallel.to_json(),
+            "thread-count invariance"
+        );
+        prop_assert_eq!(single.to_json_pretty(), parallel.to_json_pretty());
+    }
+
+    /// Changing the base seed changes per-job seeds (no accidental seed
+    /// collapse), while the grid shape stays fixed.
+    #[test]
+    fn seed0_feeds_through(seed0 in 0u64..1_000_000) {
+        let text = scenario_text(0, 0, 0, 1, 8, 1, seed0, 1);
+        let spec = parse_str(&text).unwrap();
+        let report = run_sweep(&spec, 2).unwrap();
+        prop_assert_eq!(report.jobs.len(), 2);
+        prop_assert!(report.jobs[0].seed != report.jobs[1].seed);
+        let other = parse_str(&scenario_text(0, 0, 0, 1, 8, 1, seed0 ^ 1, 1)).unwrap();
+        let other_report = run_sweep(&other, 2).unwrap();
+        prop_assert!(other_report.jobs[0].seed != report.jobs[0].seed);
+    }
+}
+
+/// The bundled scenario library must parse and stay thread-invariant on a
+/// down-scaled grid (full runs are the CI smoke test's job).
+#[test]
+fn bundled_scenarios_parse_and_shrunk_runs_are_deterministic() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+    let mut found = 0;
+    for entry in std::fs::read_dir(dir).expect("scenarios/ directory") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("scenario") {
+            continue;
+        }
+        found += 1;
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut spec = parse_str(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // Shrink the workload so this stays a unit-scale test.
+        spec.q = spec.q.min(2);
+        spec.seeds = spec.seeds.min(2);
+        spec.symbols.truncate(1);
+        spec.bounds = false;
+        let a = run_sweep(&spec, 1).unwrap();
+        let b = run_sweep(&spec, 3).unwrap();
+        assert_eq!(a.to_json(), b.to_json(), "{}", path.display());
+    }
+    assert!(
+        found >= 8,
+        "bundled scenario library shrank to {found} files"
+    );
+}

@@ -56,12 +56,32 @@ fn main() {
     let compromised = BTreeSet::from([3]);
     let mut adv = LyingCorruptor;
 
-    let commands = vec![
-        Command { account: 7, amount: 100, op: 0 },
-        Command { account: 7, amount: 30, op: 1 },
-        Command { account: 9, amount: 500, op: 0 },
-        Command { account: 7, amount: 25, op: 1 },
-        Command { account: 9, amount: 125, op: 1 },
+    let commands = [
+        Command {
+            account: 7,
+            amount: 100,
+            op: 0,
+        },
+        Command {
+            account: 7,
+            amount: 30,
+            op: 1,
+        },
+        Command {
+            account: 9,
+            amount: 500,
+            op: 0,
+        },
+        Command {
+            account: 7,
+            amount: 25,
+            op: 1,
+        },
+        Command {
+            account: 9,
+            amount: 125,
+            op: 1,
+        },
     ];
 
     // Each replica applies agreed commands to its own ledger copy.
@@ -98,7 +118,10 @@ fn main() {
     for w in honest.windows(2) {
         assert_eq!(ledgers[w[0]], ledgers[w[1]]);
     }
-    println!("\nfinal ledger (all honest replicas agree): {:?}", ledgers[honest[0]]);
+    println!(
+        "\nfinal ledger (all honest replicas agree): {:?}",
+        ledgers[honest[0]]
+    );
 
     // Throughput over a longer run for capacity planning.
     let summary = run_many(&mut engine, 20, &compromised, &mut adv, 5).expect("run");

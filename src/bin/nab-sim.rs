@@ -1,31 +1,76 @@
 //! `nab-sim` — run NAB simulations from the command line.
 //!
-//! ```text
-//! cargo run --release --bin nab-sim -- \
-//!     --topology complete:5:2 --f 1 --symbols 64 --q 10 \
-//!     --faulty 2 --adversary corruptor --broadcast eig --bounds
-//! ```
+//! Two modes:
 //!
-//! Topologies: `complete:N:CAP`, `hetero:N:LO:HI`, `barbell:HALF:CAP:BRIDGES:BCAP`,
-//! `ring:N:CAP`, `fig1a`, `fig2a`.
-//! Adversaries: `honest`, `corruptor`, `liar`, `false-alarm`, `equivocate`,
-//! `garbler`, `random:P`.
+//! - **Single run** (default): one topology, one fault set, one adversary,
+//!   `Q` instances; prints throughput and dispute state.
+//!
+//!   ```text
+//!   nab-sim --topology complete:5:2 --f 1 --symbols 64 --q 10 \
+//!           --faulty 2 --adversary corruptor --broadcast eig --bounds
+//!   ```
+//!
+//! - **Scenario sweep**: a declarative `.scenario` file expanded into a
+//!   parameter grid and run across worker threads (see `docs/scenarios.md`
+//!   and the bundled `scenarios/` library).
+//!
+//!   ```text
+//!   nab-sim --scenario scenarios/fig1a.scenario --threads 4 --json -
+//!   ```
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
-use nab_repro::nab::adversary::{
-    EqualityGarbler, EquivocatingSource, FalseAlarm, HonestStrategy, LyingCorruptor, NabAdversary,
-    RandomStrategy, TruthfulCorruptor,
-};
 use nab_repro::nab::bounds::bounds_report;
 use nab_repro::nab::engine::{run_many, NabConfig, NabEngine};
 use nab_repro::nab::BroadcastKind;
-use nab_repro::netgraph::{gen, DiGraph};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use nab_repro::netgraph::DiGraph;
+use nab_repro::scenario::topology::ResolveCtx;
+use nab_repro::scenario::{self, AdversarySpec, TopologyTemplate};
+
+const HELP: &str =
+    "nab-sim — Network-Aware Byzantine broadcast simulator (Liang & Vaidya, PODC 2012)
+
+USAGE:
+    nab-sim [OPTIONS]                         single run
+    nab-sim --scenario FILE [OPTIONS]         declarative sweep
+
+Flags are mode-exclusive: scenario sweeps take their parameters from the
+.scenario file, so single-run flags error under --scenario (and vice versa).
+
+SCENARIO MODE:
+    --scenario FILE     run a .scenario file (see docs/scenarios.md)
+    --threads N         worker threads for the sweep (0 = one per CPU;
+                        overrides the file's `threads` key)
+    --json PATH         write the full sweep report as JSON (- = stdout)
+
+SINGLE-RUN MODE:
+    --topology SPEC     topology (default complete:4:2). Families:
+                          complete:N:CAP      hetero:N:LO:HI
+                          ring:N:CAP          barbell:HALF:CAP:BRIDGES:BCAP
+                          circulant:N:M:CAP   kconnected:N:K:MAXCAP:EXTRA%
+                          fig1a | fig1b | fig2a | fig2a-closed
+                        (the figure graphs are too sparse for f ≥ 1; run
+                        them with --f 0, and use fig2a-closed for fig2a —
+                        the raw figure has no return path to the source)
+    --f F               fault bound (default 1)
+    --symbols S         input size in 16-bit symbols (default 64)
+    --q Q               broadcast instances (default 10)
+    --faulty IDS        comma-separated ground-truth faulty node ids
+    --adversary SPEC    honest | corruptor | liar | false-alarm | equivocate
+                        | garbler | random:P | collude:SCAPEGOAT:CORRUPTOR
+    --broadcast KIND    eig | phase-king (default eig)
+    --seed SEED         base RNG seed (default 7)
+    --bounds            also print the paper's Eq.6/Theorem-2 bounds
+
+GENERAL:
+    -h, --help          show this help
+";
 
 struct Args {
+    scenario: Option<String>,
+    threads: Option<usize>,
+    json: Option<String>,
     topology: String,
     f: usize,
     symbols: usize,
@@ -37,8 +82,11 @@ struct Args {
     show_bounds: bool,
 }
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Option<Args>, String> {
     let mut args = Args {
+        scenario: None,
+        threads: None,
+        json: None,
         topology: "complete:4:2".into(),
         f: 1,
         symbols: 64,
@@ -49,6 +97,23 @@ fn parse_args() -> Result<Args, String> {
         seed: 7,
         show_bounds: false,
     };
+    // Flags only meaningful in one of the two modes, tracked so an
+    // inapplicable flag errors instead of being silently ignored.
+    const SINGLE_ONLY: [&str; 9] = [
+        "--topology",
+        "--f",
+        "--symbols",
+        "--q",
+        "--seed",
+        "--faulty",
+        "--adversary",
+        "--broadcast",
+        "--bounds",
+    ];
+    const SCENARIO_ONLY: [&str; 2] = ["--threads", "--json"];
+    let mut single_flags: Vec<&'static str> = Vec::new();
+    let mut scenario_flags: Vec<&'static str> = Vec::new();
+    let mut seen_flags: Vec<String> = Vec::new();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -58,11 +123,38 @@ fn parse_args() -> Result<Args, String> {
                 .cloned()
                 .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
         };
+        if let Some(&flag) = SINGLE_ONLY.iter().find(|&&f| f == argv[i]) {
+            single_flags.push(flag);
+        }
+        if let Some(&flag) = SCENARIO_ONLY.iter().find(|&&f| f == argv[i]) {
+            scenario_flags.push(flag);
+        }
+        // Repeated flags are last-wins in naive parsers; reject them like
+        // the .scenario format rejects duplicate keys.
+        if argv[i].starts_with("--") && seen_flags.contains(&argv[i]) {
+            return Err(format!(
+                "duplicate flag {} (pass each flag at most once; \
+                 --faulty takes a comma-separated list)",
+                argv[i]
+            ));
+        }
+        seen_flags.push(argv[i].clone());
         match argv[i].as_str() {
+            "--scenario" => args.scenario = Some(take(&mut i)?),
+            "--threads" => {
+                args.threads = Some(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--json" => args.json = Some(take(&mut i)?),
             "--topology" => args.topology = take(&mut i)?,
             "--f" => args.f = take(&mut i)?.parse().map_err(|e| format!("--f: {e}"))?,
             "--symbols" => {
-                args.symbols = take(&mut i)?.parse().map_err(|e| format!("--symbols: {e}"))?
+                args.symbols = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--symbols: {e}"))?
             }
             "--q" => args.q = take(&mut i)?.parse().map_err(|e| format!("--q: {e}"))?,
             "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
@@ -77,86 +169,108 @@ fn parse_args() -> Result<Args, String> {
                 args.broadcast = match take(&mut i)?.as_str() {
                     "eig" => BroadcastKind::Eig,
                     "phase-king" => BroadcastKind::PhaseKing,
-                    other => return Err(format!("unknown broadcast kind {other}")),
+                    other => {
+                        return Err(format!(
+                            "unknown broadcast kind {other:?} (known: eig, phase-king)"
+                        ))
+                    }
                 }
             }
             "--bounds" => args.show_bounds = true,
             "--help" | "-h" => {
-                println!("see module docs: cargo doc --bin nab-sim");
-                std::process::exit(0);
+                print!("{HELP}");
+                return Ok(None);
             }
-            other => return Err(format!("unknown flag {other}")),
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
         }
         i += 1;
     }
-    Ok(args)
-}
-
-fn build_topology(spec: &str, seed: u64) -> Result<DiGraph, String> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    let num = |s: &str| -> Result<u64, String> { s.parse().map_err(|e| format!("{spec}: {e}")) };
-    match parts[0] {
-        "complete" if parts.len() == 3 => {
-            Ok(gen::complete(num(parts[1])? as usize, num(parts[2])?))
+    if args.scenario.is_some() {
+        if let Some(flag) = single_flags.first() {
+            return Err(format!(
+                "{flag} applies to single-run mode only; with --scenario, set it in the \
+                 .scenario file instead"
+            ));
         }
-        "hetero" if parts.len() == 4 => {
-            let mut rng = StdRng::seed_from_u64(seed);
-            Ok(gen::complete_heterogeneous(
-                num(parts[1])? as usize,
-                num(parts[2])?,
-                num(parts[3])?,
-                &mut rng,
-            ))
-        }
-        "barbell" if parts.len() == 5 => Ok(gen::barbell(
-            num(parts[1])? as usize,
-            num(parts[2])?,
-            num(parts[3])? as usize,
-            num(parts[4])?,
-        )),
-        "ring" if parts.len() == 3 => Ok(gen::ring(num(parts[1])? as usize, num(parts[2])?)),
-        "fig1a" => Ok(gen::figure_1a()),
-        "fig2a" => Ok(gen::figure_2a()),
-        _ => Err(format!("unrecognized topology spec: {spec}")),
+    } else if let Some(flag) = scenario_flags.first() {
+        return Err(format!("{flag} requires --scenario"));
     }
+    Ok(Some(args))
 }
 
-fn build_adversary(spec: &str) -> Result<Box<dyn NabAdversary>, String> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    Ok(match parts[0] {
-        "honest" => Box::new(HonestStrategy),
-        "corruptor" => Box::new(TruthfulCorruptor),
-        "liar" => Box::new(LyingCorruptor),
-        "false-alarm" => Box::new(FalseAlarm),
-        "equivocate" => Box::new(EquivocatingSource),
-        "garbler" => Box::new(EqualityGarbler),
-        "random" => {
-            let p: f64 = parts
-                .get(1)
-                .unwrap_or(&"0.5")
-                .parse()
-                .map_err(|e| format!("random:P — {e}"))?;
-            Box::new(RandomStrategy::new(1, p))
-        }
-        other => return Err(format!("unknown adversary {other}")),
+/// Builds a single-run topology. Grid variables (`$n`, `$cap`, `$f`,
+/// `2f+1`) only mean something inside a `.scenario` sweep, so they are
+/// rejected here rather than silently resolved to defaults.
+fn build_topology(spec: &str, f: usize, seed: u64) -> Result<DiGraph, String> {
+    if spec.contains('$') || spec.contains("2f+1") {
+        return Err(format!(
+            "topology {spec:?} uses grid variables ($n, $cap, $f, 2f+1), which only exist \
+             in .scenario sweeps; use literal values in single-run mode"
+        ));
+    }
+    let template = TopologyTemplate::parse(spec)?;
+    // With no variables left, the resolve context values are never read.
+    template.build(&ResolveCtx {
+        n: 0,
+        cap: 0,
+        f,
+        seed,
     })
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+fn run_scenario_mode(args: &Args) -> Result<ExitCode, String> {
+    let path = args.scenario.as_deref().expect("scenario mode");
+    let spec = scenario::load(path).map_err(|e| format!("{path}: {e}"))?;
+    let threads = args.threads.unwrap_or(spec.threads);
+    eprintln!(
+        "scenario {:?}: {} jobs (topology {}, adversary {}, faults {})",
+        spec.name,
+        spec.job_count(),
+        spec.topology.spec_string(),
+        spec.adversary.spec_string(),
+        spec.faults.spec_string(),
+    );
+    let report = scenario::run_sweep(&spec, threads)?;
+    // With `--json -` stdout must carry pure JSON (pipeable to jq), so
+    // the human-readable summary moves to stderr.
+    let json_on_stdout = args.json.as_deref() == Some("-");
+    let a = &report.aggregate;
+    let summary = format!(
+        "{}jobs: {} ok, {} rejected | instances: {} | mean throughput: {:.3} \
+         (min {:.3}, max {:.3})\n\
+         disputes: {} total (max {}/job, budget violated: {}) | exposures: {} | all correct: {}\n",
+        report.summary_table(),
+        a.ok_jobs,
+        a.rejected_jobs,
+        a.total_instances,
+        a.mean_throughput,
+        a.min_throughput,
+        a.max_throughput,
+        a.total_dispute_rounds,
+        a.max_dispute_rounds,
+        a.dispute_budget_violated,
+        a.exposed_nodes,
+        a.all_correct
+    );
+    if json_on_stdout {
+        eprint!("{summary}");
+        print!("{}", report.to_json_pretty());
+    } else {
+        print!("{summary}");
+        if let Some(path) = args.json.as_deref() {
+            std::fs::write(path, report.to_json_pretty())
+                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
         }
-    };
-    let g = match build_topology(&args.topology, args.seed) {
-        Ok(g) => g,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    }
+    Ok(if a.all_correct && !a.dispute_budget_violated {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn run_single_mode(args: &Args) -> Result<ExitCode, String> {
+    let g = build_topology(&args.topology, args.f, args.seed)?;
     println!(
         "network: {} ({} nodes, {} links, total capacity {})",
         args.topology,
@@ -189,48 +303,68 @@ fn main() -> ExitCode {
         symbols: args.symbols,
         seed: args.seed,
     };
-    let mut engine = match NabEngine::new(g, cfg) {
-        Ok(e) => e,
-        Err(e) => {
-            eprintln!("error: network rejected: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let mut engine = NabEngine::new(g, cfg).map_err(|e| format!("network rejected: {e}"))?;
     engine.set_broadcast_kind(args.broadcast);
 
-    let mut adv = match build_adversary(&args.adversary) {
-        Ok(a) => a,
+    if args.faulty.len() > args.f {
+        return Err(format!(
+            "--faulty names {} nodes but --f is {}",
+            args.faulty.len(),
+            args.f
+        ));
+    }
+    let n = engine.original_graph().node_count();
+    if let Some(&bad) = args.faulty.iter().find(|&&v| v >= n) {
+        return Err(format!(
+            "--faulty names node {bad}, but the network only has nodes 0..{n}"
+        ));
+    }
+    let adv_spec = AdversarySpec::parse(&args.adversary)?;
+    adv_spec.validate_for(n, &args.faulty)?;
+    let mut adv = adv_spec.build(args.seed);
+
+    let sum = run_many(&mut engine, args.q, &args.faulty, adv.as_mut(), args.seed)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "ran {} instances of {} bits: total time {:.1}, throughput {:.3} bits/unit",
+        sum.instances,
+        args.symbols * 16,
+        sum.total_time,
+        sum.throughput
+    );
+    println!(
+        "dispute rounds: {}  disputes: {:?}  removed: {:?}",
+        sum.dispute_rounds,
+        engine.disputes().pairs,
+        engine.disputes().removed
+    );
+    println!(
+        "correctness (agreement + validity in every instance): {}",
+        sum.all_correct
+    );
+    Ok(if sum.all_correct {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(a)) => a,
+        Ok(None) => return ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-
-    match run_many(&mut engine, args.q, &args.faulty, adv.as_mut(), args.seed) {
-        Ok(sum) => {
-            println!(
-                "ran {} instances of {} bits: total time {:.1}, throughput {:.3} bits/unit",
-                sum.instances,
-                args.symbols * 16,
-                sum.total_time,
-                sum.throughput
-            );
-            println!(
-                "dispute rounds: {}  disputes: {:?}  removed: {:?}",
-                sum.dispute_rounds,
-                engine.disputes().pairs,
-                engine.disputes().removed
-            );
-            println!(
-                "correctness (agreement + validity in every instance): {}",
-                sum.all_correct
-            );
-            if sum.all_correct {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
-        }
+    let result = if args.scenario.is_some() {
+        run_scenario_mode(&args)
+    } else {
+        run_single_mode(&args)
+    };
+    match result {
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -7,10 +7,13 @@
 //! - [`netgraph`] — capacitated digraphs, flows, and tree packings,
 //! - [`sim`] — the synchronous capacitated network simulator,
 //! - [`bb`] — classic Byzantine-broadcast primitives and baselines,
-//! - [`nab`] — the Network-Aware Byzantine broadcast algorithm itself.
+//! - [`nab`] — the Network-Aware Byzantine broadcast algorithm itself,
+//! - [`scenario`] — declarative fault/workload scenarios and the parallel
+//!   sweep runner (see `docs/scenarios.md`).
 
 pub use nab;
 pub use nab_bb as bb;
 pub use nab_gf as gf;
 pub use nab_netgraph as netgraph;
+pub use nab_scenario as scenario;
 pub use nab_sim as sim;

@@ -1,0 +1,232 @@
+//! Integration tests for the `nab-sim` command-line interface: help
+//! output, clear errors on bad specs (no panics), and the scenario mode
+//! end-to-end.
+
+use std::process::{Command, Output};
+
+fn nab_sim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_nab-sim"))
+        .args(args)
+        .output()
+        .expect("spawn nab-sim")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn help_flag_prints_usage_and_succeeds() {
+    for flag in ["--help", "-h"] {
+        let out = nab_sim(&[flag]);
+        assert!(out.status.success(), "{flag} must exit 0");
+        let text = stdout(&out);
+        assert!(text.contains("USAGE:"), "{flag}: {text}");
+        assert!(
+            text.contains("--scenario"),
+            "{flag} documents scenario mode"
+        );
+        assert!(text.contains("--topology"), "{flag} documents single mode");
+    }
+}
+
+#[test]
+fn unknown_topology_is_a_clear_error_not_a_panic() {
+    let out = nab_sim(&["--topology", "moebius:4:2"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown topology"), "stderr: {err}");
+    assert!(err.contains("known:"), "error lists valid families: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
+fn unknown_adversary_is_a_clear_error_not_a_panic() {
+    let out = nab_sim(&["--adversary", "mallory"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown adversary"), "stderr: {err}");
+    assert!(
+        err.contains("known:"),
+        "error lists valid strategies: {err}"
+    );
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
+fn malformed_topology_arity_is_a_clear_error() {
+    let out = nab_sim(&["--topology", "complete:4"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("parameter"), "stderr: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
+fn grid_variables_are_rejected_in_single_run_mode() {
+    let out = nab_sim(&["--topology", "complete:$n:$cap"]);
+    assert!(!out.status.success(), "variables must not silently default");
+    let err = stderr(&out);
+    assert!(err.contains("grid variables"), "stderr: {err}");
+    assert!(err.contains(".scenario"), "stderr: {err}");
+}
+
+#[test]
+fn single_run_flags_are_rejected_in_scenario_mode() {
+    let dir = std::env::temp_dir().join("nab-sim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("modecheck.scenario");
+    std::fs::write(&path, "name = modecheck\nq = 1\nsymbols = 8\n").unwrap();
+    let out = nab_sim(&["--scenario", path.to_str().unwrap(), "--adversary", "liar"]);
+    assert!(!out.status.success(), "flag must not be silently ignored");
+    let err = stderr(&out);
+    assert!(err.contains("--adversary"), "stderr: {err}");
+    assert!(err.contains(".scenario file"), "stderr: {err}");
+}
+
+#[test]
+fn scenario_flags_are_rejected_in_single_run_mode() {
+    for flags in [["--threads", "2"], ["--json", "-"]] {
+        let out = nab_sim(&flags);
+        assert!(!out.status.success(), "{flags:?} must not be ignored");
+        let err = stderr(&out);
+        assert!(err.contains("requires --scenario"), "stderr: {err}");
+    }
+}
+
+#[test]
+fn duplicate_flags_are_rejected() {
+    let out = nab_sim(&["--q", "2", "--symbols", "8", "--q", "1"]);
+    assert!(
+        !out.status.success(),
+        "repeated flags must not be last-wins"
+    );
+    let err = stderr(&out);
+    assert!(err.contains("duplicate flag --q"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_flag_suggests_help() {
+    let out = nab_sim(&["--frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--help"));
+}
+
+#[test]
+fn faulty_set_larger_than_f_is_rejected() {
+    let out = nab_sim(&["--faulty", "1,2", "--f", "1", "--q", "1"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("--f"), "stderr: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
+fn faulty_node_outside_graph_is_rejected() {
+    let out = nab_sim(&["--topology", "complete:4:2", "--faulty", "9", "--q", "1"]);
+    assert!(
+        !out.status.success(),
+        "a nonexistent faulty node must not silently report success"
+    );
+    let err = stderr(&out);
+    assert!(err.contains("node 9"), "stderr: {err}");
+    assert!(err.contains("0..4"), "stderr: {err}");
+}
+
+#[test]
+fn single_run_mode_still_works() {
+    let out = nab_sim(&[
+        "--topology",
+        "complete:4:2",
+        "--q",
+        "2",
+        "--symbols",
+        "8",
+        "--faulty",
+        "2",
+        "--adversary",
+        "corruptor",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("throughput"));
+    assert!(text.contains("correctness (agreement + validity in every instance): true"));
+}
+
+#[test]
+fn scenario_mode_runs_a_file_and_emits_json() {
+    let dir = std::env::temp_dir().join("nab-sim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let scenario_path = dir.join("smoke.scenario");
+    let json_path = dir.join("smoke.json");
+    std::fs::write(
+        &scenario_path,
+        "name = cli-smoke\n\
+         topology = complete:$n:$cap\n\
+         adversary = corruptor\n\
+         faults = fixed:2\n\
+         q = 2\n\
+         n = 4\n\
+         cap = 2\n\
+         symbols = 8\n\
+         seeds = 2\n",
+    )
+    .unwrap();
+    let out = nab_sim(&[
+        "--scenario",
+        scenario_path.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("throughput"), "summary table: {text}");
+    assert!(text.contains("all correct: true"), "{text}");
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    assert!(json.contains("\"scenario\": \"cli-smoke\""));
+    assert!(json.contains("\"ok_jobs\": 2"));
+}
+
+#[test]
+fn json_to_stdout_is_pure_json() {
+    let dir = std::env::temp_dir().join("nab-sim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pipe.scenario");
+    std::fs::write(&path, "name = pipe\nq = 1\nsymbols = 8\n").unwrap();
+    let out = nab_sim(&["--scenario", path.to_str().unwrap(), "--json", "-"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.starts_with('{') && text.trim_end().ends_with('}'),
+        "stdout must be a single JSON document, got: {}",
+        &text[..text.len().min(120)]
+    );
+    // The human summary still reaches the user, on stderr.
+    assert!(stderr(&out).contains("all correct"), "{}", stderr(&out));
+}
+
+#[test]
+fn scenario_mode_reports_parse_errors_with_line_numbers() {
+    let dir = std::env::temp_dir().join("nab-sim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("broken.scenario");
+    std::fs::write(&path, "name = broken\ntopology = torus:4:4\n").unwrap();
+    let out = nab_sim(&["--scenario", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("line 2"), "stderr: {err}");
+    assert!(err.contains("unknown topology"), "stderr: {err}");
+}
+
+#[test]
+fn missing_scenario_file_is_a_clear_error() {
+    let out = nab_sim(&["--scenario", "/nonexistent/x.scenario"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot read scenario"));
+}

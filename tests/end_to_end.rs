@@ -5,8 +5,8 @@
 use std::collections::BTreeSet;
 
 use nab_repro::nab::adversary::{
-    EqualityGarbler, EquivocatingSource, FalseAlarm, HonestStrategy, LyingCorruptor,
-    NabAdversary, RandomStrategy, TruthfulCorruptor,
+    EqualityGarbler, EquivocatingSource, FalseAlarm, HonestStrategy, LyingCorruptor, NabAdversary,
+    RandomStrategy, TruthfulCorruptor,
 };
 use nab_repro::nab::dispute::DisputeState;
 use nab_repro::nab::engine::{NabConfig, NabEngine, SOURCE};
@@ -190,8 +190,7 @@ fn fault_free_nodes_never_removed() {
             let mut engine = NabEngine::new(gen::complete(4, 2), cfg).unwrap();
             let faulty = BTreeSet::from([bad]);
             for i in 0..3 {
-                let input =
-                    Value::from_u64s(&(0..16u64).map(|x| x * 3 + i).collect::<Vec<_>>());
+                let input = Value::from_u64s(&(0..16u64).map(|x| x * 3 + i).collect::<Vec<_>>());
                 engine.run_instance(&input, &faulty, adv.as_mut()).unwrap();
             }
             for removed in &engine.disputes().removed {

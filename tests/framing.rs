@@ -14,7 +14,11 @@ use nab_repro::nab::Value;
 use nab_repro::netgraph::gen;
 
 fn value(symbols: usize, salt: u64) -> Value {
-    Value::from_u64s(&(0..symbols as u64).map(|i| i * 5 + salt).collect::<Vec<_>>())
+    Value::from_u64s(
+        &(0..symbols as u64)
+            .map(|i| i * 5 + salt)
+            .collect::<Vec<_>>(),
+    )
 }
 
 /// Two colluders on K7 (f = 2) corrupt and then jointly accuse an innocent
@@ -126,7 +130,10 @@ fn collusion_burns_itself_out() {
         let rep = engine.run_instance(&input, &faulty, &mut adv).unwrap();
         disputes += usize::from(rep.dispute_ran);
     }
-    assert!(disputes <= budget, "{disputes} dispute rounds > budget {budget}");
+    assert!(
+        disputes <= budget,
+        "{disputes} dispute rounds > budget {budget}"
+    );
     // Steady state: the last instances run clean.
     let input = value(14, 99);
     let rep = engine.run_instance(&input, &faulty, &mut adv).unwrap();

@@ -1,0 +1,409 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro, [`strategy::Strategy`] with
+//! `prop_map`, `any::<T>()`, numeric-range and tuple strategies,
+//! [`collection::vec`], [`test_runner::ProptestConfig`], and the
+//! `prop_assert!`/`prop_assert_eq!` assertion macros.
+//!
+//! Differences from upstream: cases are generated from a fixed seed (fully
+//! deterministic across runs) and failing cases are **not shrunk** — the
+//! panic message reports the case number instead. Assertion semantics are
+//! identical (`prop_assert*` fails the test exactly like `assert*`).
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Box::new(self),
+            }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Box<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — the canonical full-domain strategy per type.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws a uniform value over the whole domain.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen::<f64>()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// Size specification for [`vec`]: an exact length or a length range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy generating vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test-loop configuration and the deterministic case RNG.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the suite fast on small
+            // CI machines while still exercising the space. Tests that
+            // need more ask via `with_cases`.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Builds the deterministic RNG for one test case.
+    pub fn case_rng(case: u32) -> StdRng {
+        StdRng::seed_from_u64(0xA076_1D64_78BD_642Fu64 ^ ((case as u64) << 1))
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. See the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::case_rng(__case);
+                // The body runs in a Result context so `return Ok(())`
+                // early-exits a single case, as in upstream proptest.
+                let mut __body = || -> ::std::result::Result<(), ::std::string::String> {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )*
+                    $body
+                    Ok(())
+                };
+                if let Err(__e) = __body() {
+                    panic!("proptest case {__case} failed: {__e}");
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Fails the current case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Fails the current case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u64> {
+        any::<u64>().prop_map(|x| x & !1)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in 4usize..8, x in 1u64..=5, p in 0.25f64..0.75) {
+            prop_assert!((4..8).contains(&n));
+            prop_assert!((1..=5).contains(&x));
+            prop_assert!((0.25..0.75).contains(&p));
+        }
+
+        #[test]
+        fn mapped_strategy_applies(e in arb_even()) {
+            prop_assert_eq!(e % 2, 0);
+        }
+
+        #[test]
+        fn vec_lengths_respected(
+            v in crate::collection::vec(any::<u8>(), 3..6),
+            w in crate::collection::vec(any::<u8>(), 4),
+        ) {
+            prop_assert!((3..6).contains(&v.len()));
+            prop_assert_eq!(w.len(), 4);
+        }
+
+        #[test]
+        fn tuples_generate(t in (0usize..4, 0usize..4)) {
+            prop_assert!(t.0 < 4 && t.1 < 4);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..8)
+            .map(|c| Strategy::generate(&(0u64..1000), &mut crate::test_runner::case_rng(c)))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|c| Strategy::generate(&(0u64..1000), &mut crate::test_runner::case_rng(c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}
