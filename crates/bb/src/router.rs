@@ -156,14 +156,32 @@ impl PathRouter {
 }
 
 /// The strict-majority element of a slice, if one exists.
+///
+/// Runs the Boyer–Moore majority-vote scan (one candidate pass plus one
+/// verification pass, `O(n)` comparisons) instead of the naive quadratic
+/// count — this sits under every unicast vote and every internal node of
+/// the EIG resolve tree, so it is one of the hottest comparisons in the
+/// whole simulator.
 pub fn majority<V: Clone + Eq>(items: &[V]) -> Option<V> {
-    for candidate in items {
-        let count = items.iter().filter(|x| *x == candidate).count();
-        if 2 * count > items.len() {
-            return Some(candidate.clone());
+    let mut candidate: Option<&V> = None;
+    let mut count = 0usize;
+    for x in items {
+        match candidate {
+            Some(c) if c == x => count += 1,
+            _ if count == 0 => {
+                candidate = Some(x);
+                count = 1;
+            }
+            _ => count -= 1,
         }
     }
-    None
+    // Only a strict majority (not a mere plurality) wins; verify.
+    let c = candidate?;
+    if 2 * items.iter().filter(|x| *x == c).count() > items.len() {
+        Some(c.clone())
+    } else {
+        None
+    }
 }
 
 #[cfg(test)]

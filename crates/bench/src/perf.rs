@@ -1,0 +1,370 @@
+//! The perf-report subsystem: wall-clock benchmarks of the GF kernel
+//! tiers and a bundled scenario sweep, emitting deterministic-schema JSON
+//! (`BENCH_gf.json`, `BENCH_sweep.json`).
+//!
+//! "Deterministic schema" means the key set and key order of the emitted
+//! documents never change between runs — only the measured nanosecond
+//! values do — so perf reports diff cleanly across commits and the CI
+//! smoke job can validate them structurally. The JSON is rendered with
+//! the same hand-rolled writer the sweep reports use
+//! ([`nab_scenario::json::Json`]); regeneration instructions live in
+//! `docs/perf.md`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use nab::equality::CodingScheme;
+use nab::value::Value;
+use nab_gf::bytes::{self, ByteMatrix};
+use nab_gf::kernel::{self, scalar_mul_row_add, FastOps};
+use nab_gf::linalg;
+use nab_gf::matrix::Matrix;
+use nab_gf::{Field, Gf256, Gf2_16};
+use nab_netgraph::gen;
+use nab_scenario::json::Json;
+use nab_scenario::{parse_str, SweepReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Bumped whenever a key is added to / removed from the emitted JSON.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The bundled scenario the sweep benchmark runs (the E3 complete-graph
+/// grid), embedded so the `perf` binary works from any directory.
+pub const SWEEP_SCENARIO: &str = include_str!("../../../scenarios/complete-sweep.scenario");
+
+/// One timed GF micro-benchmark case.
+#[derive(Debug, Clone)]
+pub struct GfCase {
+    /// Operation: `mul_row_add`, `mat_mul`, `invert`, `solve`, `encode`.
+    pub op: &'static str,
+    /// Implementation tier, `<field>/<kernel>` (e.g. `gf256/bytes`,
+    /// `gf2_16/split-table16`, `gf2_16/scalar`).
+    pub tier: &'static str,
+    /// Problem size: row length for row kernels, matrix dimension for
+    /// `mat_mul`/`invert`/`solve`, symbol count for `encode`.
+    pub n: u64,
+    /// Timed iterations (after one warmup iteration).
+    pub iters: u64,
+    /// Total measured nanoseconds over all iterations.
+    pub total_ns: u64,
+}
+
+impl GfCase {
+    /// Mean nanoseconds per iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.total_ns as f64 / self.iters.max(1) as f64
+    }
+}
+
+/// Times `iters` iterations of `f` after one warmup call.
+fn time<R>(iters: u64, mut f: impl FnMut() -> R) -> u64 {
+    black_box(f());
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    t0.elapsed().as_nanos() as u64
+}
+
+fn case<R>(
+    op: &'static str,
+    tier: &'static str,
+    n: u64,
+    iters: u64,
+    f: impl FnMut() -> R,
+) -> GfCase {
+    GfCase {
+        op,
+        tier,
+        n,
+        iters,
+        total_ns: time(iters, f),
+    }
+}
+
+/// Runs the GF micro-benchmark grid: every kernel tier
+/// (byte slab / `FastOps` table kernels / scalar reference) on the row
+/// kernel, matrix multiply, inversion, solving, and Algorithm-1 encode.
+///
+/// `quick` shrinks sizes and iteration counts for smoke runs (CI, tests).
+pub fn run_gf_bench(quick: bool) -> Vec<GfCase> {
+    let mut rng = StdRng::seed_from_u64(0xBEAC);
+    let mut cases = Vec::new();
+
+    // --- Row kernel: dst += s * src over a long row. -------------------
+    let row_lens: &[usize] = if quick { &[1024] } else { &[256, 4096] };
+    let row_iters = |len: usize| {
+        if quick {
+            2_000
+        } else {
+            2_000_000 / len.max(1) as u64 + 1_000
+        }
+    };
+    for &len in row_lens {
+        let iters = row_iters(len);
+        let src8: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+        let mut dst8: Vec<u8> = (0..len).map(|i| (i * 17 + 3) as u8).collect();
+        cases.push(case(
+            "mul_row_add",
+            "gf256/bytes",
+            len as u64,
+            iters,
+            || bytes::mul_row_add(&mut dst8, &src8, 0x57),
+        ));
+
+        let srcf: Vec<Gf256> = src8.iter().map(|&x| Gf256(x)).collect();
+        let mut dstf: Vec<Gf256> = (0..len).map(|i| Gf256((i * 13 + 1) as u8)).collect();
+        cases.push(case(
+            "mul_row_add",
+            "gf256/table256",
+            len as u64,
+            iters,
+            || <Gf256 as FastOps>::mul_row_add(&mut dstf, &srcf, Gf256(0x57)),
+        ));
+        let mut dsts = dstf.clone();
+        cases.push(case(
+            "mul_row_add",
+            "gf256/scalar",
+            len as u64,
+            iters,
+            || scalar_mul_row_add(&mut dsts, &srcf, Gf256(0x57)),
+        ));
+
+        let src16: Vec<Gf2_16> = (0..len)
+            .map(|i| Gf2_16::from_u64(i as u64 * 257 + 11))
+            .collect();
+        let mut dst16: Vec<Gf2_16> = (0..len)
+            .map(|i| Gf2_16::from_u64(i as u64 * 41 + 5))
+            .collect();
+        // FastOps dispatches on row length: label the tier that actually
+        // runs, so BENCH_gf.json attributes timings to the right kernel.
+        let gf2_16_tier = if len >= kernel::GF2_16_SPLIT_THRESHOLD {
+            "gf2_16/split-table16"
+        } else {
+            "gf2_16/log16"
+        };
+        cases.push(case("mul_row_add", gf2_16_tier, len as u64, iters, || {
+            <Gf2_16 as FastOps>::mul_row_add(&mut dst16, &src16, Gf2_16(0xABCD))
+        }));
+        let mut dst16s = dst16.clone();
+        cases.push(case(
+            "mul_row_add",
+            "gf2_16/scalar",
+            len as u64,
+            iters,
+            || scalar_mul_row_add(&mut dst16s, &src16, Gf2_16(0xABCD)),
+        ));
+    }
+
+    // --- Dense linear algebra: mat_mul / invert / solve. ---------------
+    let dims: &[usize] = if quick { &[24] } else { &[48, 96] };
+    for &n in dims {
+        let iters = if quick {
+            10
+        } else {
+            2_000_000 / (n * n * n) as u64 + 5
+        };
+        let a8 = ByteMatrix::random(n, n, &mut rng);
+        let b8 = ByteMatrix::random(n, n, &mut rng);
+        cases.push(case("mat_mul", "gf256/bytes", n as u64, iters, || {
+            a8.mat_mul(&b8)
+        }));
+        let a = Matrix::<Gf2_16>::random(n, n, &mut rng);
+        let b = Matrix::<Gf2_16>::random(n, n, &mut rng);
+        cases.push(case("mat_mul", "gf2_16/kernel", n as u64, iters, || {
+            kernel::mat_mul(&a, &b)
+        }));
+        cases.push(case("mat_mul", "gf2_16/scalar", n as u64, iters, || {
+            a.mul(&b)
+        }));
+
+        cases.push(case("invert", "gf256/bytes", n as u64, iters, || {
+            a8.invert()
+        }));
+        cases.push(case("invert", "gf2_16/kernel", n as u64, iters, || {
+            kernel::invert(&a)
+        }));
+        cases.push(case("invert", "gf2_16/scalar", n as u64, iters, || {
+            linalg::invert(&a)
+        }));
+
+        let rhs: Vec<Gf2_16> = (0..n).map(|i| Gf2_16::from_u64(i as u64 + 1)).collect();
+        cases.push(case("solve", "gf2_16/kernel", n as u64, iters, || {
+            kernel::solve(&a, &rhs)
+        }));
+        cases.push(case("solve", "gf2_16/scalar", n as u64, iters, || {
+            linalg::solve(&a, &rhs)
+        }));
+    }
+
+    // --- Algorithm-1 encode on the full coding-scheme path. ------------
+    let symbols = if quick { 64 } else { 512 };
+    let enc_iters = if quick { 50 } else { 500 };
+    let g = gen::complete(6, 4);
+    let scheme = CodingScheme::random(&g, 4, 29);
+    let value = Value::random(symbols, &mut rng);
+    cases.push(case(
+        "encode",
+        "gf2_16/kernel",
+        symbols as u64,
+        enc_iters,
+        || scheme.encode(0, 1, &value),
+    ));
+
+    cases
+}
+
+/// Renders the GF micro-benchmark report (`BENCH_gf.json`).
+pub fn gf_report_json(cases: &[GfCase], quick: bool) -> Json {
+    Json::obj(vec![
+        ("report", Json::str("gf")),
+        ("schema", Json::U64(SCHEMA_VERSION)),
+        ("quick", Json::Bool(quick)),
+        (
+            "cases",
+            Json::Arr(
+                cases
+                    .iter()
+                    .map(|c| {
+                        Json::obj(vec![
+                            ("op", Json::str(c.op)),
+                            ("tier", Json::str(c.tier)),
+                            ("n", Json::U64(c.n)),
+                            ("iters", Json::U64(c.iters)),
+                            ("total_ns", Json::U64(c.total_ns)),
+                            ("ns_per_iter", Json::F64(c.ns_per_iter())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Runs the bundled scenario sweep under timing instrumentation.
+///
+/// `quick` shrinks the grid to a smoke-sized subset. Returns the report,
+/// the elapsed wall nanoseconds, and the **resolved** worker count
+/// (`threads == 0` means one per CPU, resolved here exactly as the sweep
+/// runner resolves it, so the recorded metadata matches the run).
+///
+/// # Errors
+///
+/// Returns the scenario parse/validation failure, if any.
+pub fn run_sweep_bench(quick: bool, threads: usize) -> Result<(SweepReport, u64, usize), String> {
+    let mut spec = parse_str(SWEEP_SCENARIO).map_err(|e| e.to_string())?;
+    if quick {
+        spec.q = spec.q.min(2);
+        spec.seeds = spec.seeds.min(1);
+        spec.symbols.truncate(1);
+        spec.n.truncate(1);
+        spec.cap.truncate(1);
+        spec.bounds = false;
+    }
+    let resolved = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    let t0 = Instant::now();
+    let report = nab_scenario::sweep::run_sweep(&spec, resolved)?;
+    Ok((report, t0.elapsed().as_nanos() as u64, resolved))
+}
+
+/// Renders the sweep benchmark report (`BENCH_sweep.json`): run metadata
+/// plus the full timed sweep report (per-job `wall_*_ns` included).
+pub fn sweep_report_json(report: &SweepReport, wall_ns: u64, threads: usize, quick: bool) -> Json {
+    Json::obj(vec![
+        ("report", Json::str("sweep")),
+        ("schema", Json::U64(SCHEMA_VERSION)),
+        ("quick", Json::Bool(quick)),
+        ("threads", Json::U64(threads as u64)),
+        ("wall_ns", Json::U64(wall_ns)),
+        ("sweep", report.to_json_value(true)),
+    ])
+}
+
+/// A terminal summary table of GF cases (op, tier, n, ns/iter).
+pub fn gf_summary_table(cases: &[GfCase]) -> String {
+    let rows: Vec<Vec<String>> = cases
+        .iter()
+        .map(|c| {
+            vec![
+                c.op.to_string(),
+                c.tier.to_string(),
+                c.n.to_string(),
+                format!("{:.0}", c.ns_per_iter()),
+            ]
+        })
+        .collect();
+    crate::format_table(&["op", "tier", "n", "ns/iter"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gf_report_schema_is_stable() {
+        let cases = vec![GfCase {
+            op: "mul_row_add",
+            tier: "gf256/bytes",
+            n: 64,
+            iters: 10,
+            total_ns: 1234,
+        }];
+        let j = gf_report_json(&cases, true).render();
+        assert!(j.starts_with("{\"report\":\"gf\",\"schema\":1,\"quick\":true,\"cases\":["));
+        for key in [
+            "\"op\":",
+            "\"tier\":",
+            "\"n\":64",
+            "\"iters\":10",
+            "\"total_ns\":1234",
+            "\"ns_per_iter\":123.4",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+
+    #[test]
+    fn quick_gf_bench_covers_every_op_and_tier_pair() {
+        let cases = run_gf_bench(true);
+        let ops: std::collections::BTreeSet<&str> = cases.iter().map(|c| c.op).collect();
+        assert_eq!(
+            ops.into_iter().collect::<Vec<_>>(),
+            vec!["encode", "invert", "mat_mul", "mul_row_add", "solve"]
+        );
+        // Every specialized tier appears alongside its scalar baseline.
+        assert!(cases.iter().any(|c| c.tier == "gf256/bytes"));
+        assert!(cases.iter().any(|c| c.tier == "gf2_16/split-table16"));
+        assert!(cases.iter().any(|c| c.tier == "gf2_16/scalar"));
+        for c in &cases {
+            assert!(c.iters > 0, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn quick_sweep_bench_produces_timed_report() {
+        let (report, wall_ns, threads) = run_sweep_bench(true, 2).expect("bundled scenario runs");
+        assert_eq!(threads, 2, "explicit thread counts pass through");
+        assert!(report.aggregate.ok_jobs > 0);
+        assert!(report.aggregate.all_correct);
+        let j = sweep_report_json(&report, wall_ns, threads, true).render();
+        assert!(j.starts_with("{\"report\":\"sweep\",\"schema\":1"));
+        assert!(
+            j.contains("\"wall_total_ns\":"),
+            "timed sweep embedded: {j}"
+        );
+        assert!(j.contains("\"sweep\":{\"scenario\":\"complete-sweep\""));
+    }
+
+    #[test]
+    fn default_thread_count_is_resolved_before_recording() {
+        let (_, _, threads) = run_sweep_bench(true, 0).expect("bundled scenario runs");
+        assert!(threads >= 1, "0 must resolve to the actual worker count");
+    }
+}

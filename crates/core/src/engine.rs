@@ -99,14 +99,48 @@ impl PhaseTimes {
     }
 }
 
+/// Per-phase **wall-clock** nanoseconds of one instance — how long the
+/// simulator itself took, as opposed to [`PhaseTimes`], which is the
+/// *simulated* link-time model. This is the raw material of the perf
+/// report (`BENCH_sweep.json`): summed per job by the sweep runner and
+/// serialized when timings are requested.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseWallNanos {
+    /// Phase 1 (arborescence streaming).
+    pub phase1: u64,
+    /// Equality check (coding-matrix generation + encode/check).
+    pub equality: u64,
+    /// Flag broadcasts.
+    pub flags: u64,
+    /// Dispute control (claims broadcast + DC2/DC3), 0 when not run.
+    pub dispute: u64,
+}
+
+impl PhaseWallNanos {
+    /// Accumulates another instance's breakdown.
+    ///
+    /// (There is deliberately no `total()` here: the per-job total the
+    /// sweep report serializes is `JobMetrics::wall_ns`, which also
+    /// covers engine setup and input generation — a phase-sum "total"
+    /// would silently disagree with it.)
+    pub fn accumulate(&mut self, other: &PhaseWallNanos) {
+        self.phase1 += other.phase1;
+        self.equality += other.equality;
+        self.flags += other.flags;
+        self.dispute += other.dispute;
+    }
+}
+
 /// Everything observable about one NAB instance.
 #[derive(Debug, Clone)]
 pub struct InstanceReport {
     /// Output value decided by each *fault-free* node (faulty nodes'
     /// entries are present but meaningless).
     pub outputs: BTreeMap<NodeId, Value>,
-    /// Wall-clock breakdown.
+    /// Simulated-time breakdown.
     pub times: PhaseTimes,
+    /// Measured wall-clock breakdown (nanoseconds).
+    pub wall: PhaseWallNanos,
     /// `γ_k` used for Phase 1.
     pub gamma_k: u64,
     /// `ρ_k` used for the equality check.
@@ -254,6 +288,7 @@ impl NabEngine {
             return Ok(InstanceReport {
                 outputs,
                 times: PhaseTimes::default(),
+                wall: PhaseWallNanos::default(),
                 gamma_k: 0,
                 rho_k: 0,
                 mismatch_detected: false,
@@ -269,10 +304,15 @@ impl NabEngine {
             pack_arborescences(&gk, SOURCE, gamma).expect("Edmonds packing exists at rate γ_k");
 
         // Phase 1.
+        let t0 = std::time::Instant::now();
         let p1 = run_phase1(&gk, SOURCE, input, &trees, faulty, adv);
         let mut times = PhaseTimes {
             phase1: p1.duration,
             ..PhaseTimes::default()
+        };
+        let mut wall = PhaseWallNanos {
+            phase1: t0.elapsed().as_nanos() as u64,
+            ..PhaseWallNanos::default()
         };
 
         // Special case 2: at least f nodes excluded → everyone left is
@@ -281,6 +321,7 @@ impl NabEngine {
             return Ok(InstanceReport {
                 outputs: p1.values,
                 times,
+                wall,
                 gamma_k: gamma,
                 rho_k: 0,
                 mismatch_detected: false,
@@ -292,6 +333,7 @@ impl NabEngine {
         }
 
         // Phase 2: equality check + flag broadcast.
+        let t0 = std::time::Instant::now();
         let rho =
             rho_k(&gk, self.cfg.f, &self.disputes.pairs).ok_or(NabError::NoEqualityParameter)?;
         let scheme = CodingScheme::random(
@@ -301,7 +343,9 @@ impl NabEngine {
         );
         let eq = run_equality_phase(&gk, &p1.values, &scheme, faulty, adv);
         times.equality = eq.duration;
+        wall.equality = t0.elapsed().as_nanos() as u64;
 
+        let t0 = std::time::Instant::now();
         let participants: Vec<NodeId> = gk.nodes().collect();
         let f_res = self.residual_f();
         let flags = run_flag_broadcast(
@@ -315,6 +359,7 @@ impl NabEngine {
             self.broadcast,
         );
         times.flags = flags.duration;
+        wall.flags = t0.elapsed().as_nanos() as u64;
 
         // All fault-free nodes see the same set of agreed flags; evaluate
         // at an arbitrary fault-free participant.
@@ -328,6 +373,7 @@ impl NabEngine {
             return Ok(InstanceReport {
                 outputs: p1.values,
                 times,
+                wall,
                 gamma_k: gamma,
                 rho_k: rho,
                 mismatch_detected: false,
@@ -339,6 +385,7 @@ impl NabEngine {
         }
 
         // Phase 3: dispute control.
+        let t0 = std::time::Instant::now();
         let truthful = honest_claims(
             &gk,
             SOURCE,
@@ -403,10 +450,12 @@ impl NabEngine {
             .map(Value::from_symbols)
             .unwrap_or_else(|| Value::zeros(self.cfg.symbols));
         let outputs = participants.iter().map(|&v| (v, decided.clone())).collect();
+        wall.dispute = t0.elapsed().as_nanos() as u64;
 
         Ok(InstanceReport {
             outputs,
             times,
+            wall,
             gamma_k: gamma,
             rho_k: rho,
             mismatch_detected: true,

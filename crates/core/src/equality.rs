@@ -110,12 +110,23 @@ impl CodingScheme {
 
     /// Encodes a value for transmission on edge `(src, dst)`:
     /// `Y_e = X C_e` computed per 16-bit column, flattened column-major.
+    ///
+    /// The multiply runs on the [`nab_gf::kernel`] row kernels (the
+    /// split-table `GF(2^16)` fast path); when encoding the same value on
+    /// many edges, reshape once and use [`CodingScheme::encode_cols`].
     pub fn encode(&self, src: NodeId, dst: NodeId, value: &Value) -> Vec<Gf2_16> {
+        self.encode_cols(src, dst, &value.reshape(self.rho))
+    }
+
+    /// Encodes pre-reshaped symbol columns (from
+    /// [`Value::reshape`] with this scheme's `ρ`) for edge `(src, dst)`.
+    /// This is the per-edge hot path of Phase 2: the reshape is hoisted so
+    /// a node encoding on all its out-edges pays it once.
+    pub fn encode_cols(&self, src: NodeId, dst: NodeId, cols: &[Vec<Gf2_16>]) -> Vec<Gf2_16> {
         let c = self.matrix(src, dst);
-        let cols = value.reshape(self.rho);
         let mut out = Vec::with_capacity(cols.len() * c.cols());
-        for x in &cols {
-            out.extend(c.left_mul_vec(x));
+        for x in cols {
+            out.extend(nab_gf::kernel::left_mul_vec(c, x));
         }
         out
     }
@@ -138,6 +149,18 @@ impl CodingScheme {
     pub fn check(&self, src: NodeId, dst: NodeId, own: &Value, received: &[Gf2_16]) -> bool {
         self.encode(src, dst, own) == received
     }
+
+    /// [`CodingScheme::check`] on pre-reshaped columns (reshape hoisted,
+    /// for receivers checking many in-edges against the same value).
+    pub fn check_cols(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        own_cols: &[Vec<Gf2_16>],
+        received: &[Gf2_16],
+    ) -> bool {
+        self.encode_cols(src, dst, own_cols) == received
+    }
 }
 
 /// Pure (simulator-free) execution of Algorithm 1 on graph `g` with the
@@ -157,12 +180,15 @@ pub fn equality_check_flags(
     tamper: &mut dyn FnMut(NodeId, NodeId, Vec<Gf2_16>) -> Vec<Gf2_16>,
 ) -> BTreeMap<NodeId, bool> {
     let mut flags: BTreeMap<NodeId, bool> = g.nodes().map(|v| (v, false)).collect();
+    // Reshape each node's value once, not once per incident edge.
+    let reshaped: BTreeMap<NodeId, Vec<Vec<Gf2_16>>> = g
+        .nodes()
+        .map(|v| (v, values[&v].reshape(scheme.rho())))
+        .collect();
     for (_, e) in g.edges() {
-        let sender_value = &values[&e.src];
-        let honest = scheme.encode(e.src, e.dst, sender_value);
+        let honest = scheme.encode_cols(e.src, e.dst, &reshaped[&e.src]);
         let sent = tamper(e.src, e.dst, honest);
-        let receiver_value = &values[&e.dst];
-        if !scheme.check(e.src, e.dst, receiver_value, &sent) {
+        if !scheme.check_cols(e.src, e.dst, &reshaped[&e.dst], &sent) {
             flags.insert(e.dst, true);
         }
     }

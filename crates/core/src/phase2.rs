@@ -42,8 +42,15 @@ pub fn run_equality_phase(
     net.set_record_transcript(false);
     let mut sends = BTreeMap::new();
 
+    // Each node's value is reshaped into ρ-symbol columns exactly once;
+    // the per-edge encode/check then runs on the nab-gf row kernels.
+    let reshaped: BTreeMap<NodeId, Vec<Vec<Gf2_16>>> = gk
+        .nodes()
+        .map(|v| (v, values[&v].reshape(scheme.rho())))
+        .collect();
+
     for (_, e) in gk.edges() {
-        let honest = scheme.encode(e.src, e.dst, &values[&e.src]);
+        let honest = scheme.encode_cols(e.src, e.dst, &reshaped[&e.src]);
         let sent = if faulty.contains(&e.src) {
             adv.equality_symbols(e.src, e.dst, &honest)
         } else {
@@ -58,7 +65,7 @@ pub fn run_equality_phase(
     let mut flags: BTreeMap<NodeId, bool> = gk.nodes().map(|v| (v, false)).collect();
     for v in gk.nodes() {
         for (from, symbols) in net.take_inbox(v) {
-            if !scheme.check(from, v, &values[&v], &symbols) {
+            if !scheme.check_cols(from, v, &reshaped[&v], &symbols) {
                 flags.insert(v, true);
             }
         }

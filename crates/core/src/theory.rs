@@ -14,9 +14,9 @@
 
 use std::collections::BTreeMap;
 
-use nab_gf::linalg;
+use nab_gf::kernel;
 use nab_gf::matrix::Matrix;
-use nab_gf::Gf2_16;
+use nab_gf::{FastOps, Gf2_16};
 use nab_netgraph::treepack::Tree;
 use nab_netgraph::{DiGraph, NodeId};
 
@@ -57,21 +57,17 @@ pub fn build_ch(h: &DiGraph, scheme: &CodingScheme) -> Matrix<Gf2_16> {
     let layout = column_layout(h);
     for (_, e) in h.edges() {
         let ce = scheme.matrix(e.src, e.dst);
-        let (start, _) = layout[&(e.src, e.dst)];
-        for t in 0..ce.cols() {
-            let col = start + t;
-            // Block for src gets +C_e column; block for dst gets −C_e
-            // (identical in characteristic 2). The reference node owns no
-            // block.
-            if let Some(&bi) = block_of.get(&e.src) {
-                for r in 0..rho {
-                    ch[(bi * rho + r, col)] = ce[(r, t)];
-                }
-            }
-            if let Some(&bj) = block_of.get(&e.dst) {
-                for r in 0..rho {
-                    ch[(bj * rho + r, col)] = ce[(r, t)];
-                }
+        let (start, end) = layout[&(e.src, e.dst)];
+        // Block for src gets +C_e; block for dst gets −C_e (identical in
+        // characteristic 2). The reference node owns no block. C_e's rows
+        // land in contiguous column ranges of C_H, so each transfers as
+        // one slice copy.
+        for &block in [block_of.get(&e.src), block_of.get(&e.dst)]
+            .iter()
+            .flatten()
+        {
+            for r in 0..rho {
+                ch.row_mut(block * rho + r)[start..end].copy_from_slice(ce.row(r));
             }
         }
     }
@@ -86,7 +82,7 @@ pub fn ch_is_sound(h: &DiGraph, scheme: &CodingScheme) -> bool {
         return true;
     }
     let ch = build_ch(h, scheme);
-    linalg::rank(&ch) == (nodes - 1) * scheme.rho()
+    kernel::rank(&ch) == (nodes - 1) * scheme.rho()
 }
 
 /// Extracts the square spanning-tree submatrix `M_H` of `C_H`: one column
@@ -158,7 +154,7 @@ pub fn colliding_values(
     let rho = scheme.rho();
     let ch = build_ch(h, scheme);
     // Left kernel of C_H: row vectors D with D · C_H = 0.
-    let kernel = linalg::kernel_basis(&ch.transpose());
+    let kernel = kernel::kernel_basis(&ch.transpose());
     if kernel.rows() == 0 {
         return None;
     }
@@ -183,7 +179,7 @@ pub fn colliding_values(
 /// equality check is *simultaneously sound on every* `H ∈ Ω` — the event
 /// whose probability Theorem 1 lower-bounds by
 /// `1 − 2^{−m}·C(n, n−f)·(n−f−1)·ρ`.
-pub fn theorem1_trial<F: nab_gf::Field, R: rand::Rng + ?Sized>(
+pub fn theorem1_trial<F: FastOps, R: rand::Rng + ?Sized>(
     g: &DiGraph,
     f: usize,
     rho: usize,
@@ -204,7 +200,7 @@ pub fn theorem1_trial<F: nab_gf::Field, R: rand::Rng + ?Sized>(
 }
 
 /// Rank test of the generic `C_H` built from the supplied matrices.
-fn generic_ch_sound<F: nab_gf::Field>(
+fn generic_ch_sound<F: FastOps>(
     h: &DiGraph,
     rho: usize,
     mats: &BTreeMap<(NodeId, NodeId), Matrix<F>>,
@@ -224,21 +220,18 @@ fn generic_ch_sound<F: nab_gf::Field>(
     let mut col0 = 0usize;
     for (_, e) in h.edges() {
         let ce = &mats[&(e.src, e.dst)];
-        for t in 0..ce.cols() {
-            if let Some(&bi) = block_of.get(&e.src) {
-                for r in 0..rho {
-                    ch[(bi * rho + r, col0 + t)] = ce[(r, t)];
-                }
-            }
-            if let Some(&bj) = block_of.get(&e.dst) {
-                for r in 0..rho {
-                    ch[(bj * rho + r, col0 + t)] = ce[(r, t)];
-                }
+        let span = col0..col0 + ce.cols();
+        for &block in [block_of.get(&e.src), block_of.get(&e.dst)]
+            .iter()
+            .flatten()
+        {
+            for r in 0..rho {
+                ch.row_mut(block * rho + r)[span.clone()].copy_from_slice(ce.row(r));
             }
         }
         col0 += ce.cols();
     }
-    linalg::rank(&ch) == blocks * rho
+    kernel::rank(&ch) == blocks * rho
 }
 
 /// End-to-end Theorem 1 verification for one subgraph: pack `ρ` spanning
@@ -250,7 +243,7 @@ pub fn mh_invertible(h: &DiGraph, scheme: &CodingScheme) -> Option<bool> {
     let u = nab_netgraph::UnGraph::from_digraph(h);
     let trees = nab_netgraph::treepack::pack_spanning_trees(&u, scheme.rho())?;
     let mh = spanning_submatrix(h, scheme, &trees)?;
-    Some(linalg::is_invertible(&mh))
+    Some(kernel::is_invertible(&mh))
 }
 
 #[cfg(test)]

@@ -270,6 +270,36 @@ impl Field for Gf2_16 {
     }
 }
 
+/// Log-domain fused row kernel for `GF(2^16)`: `dst[i] ^= s · src[i]`
+/// with the sender's discrete log hoisted out of the loop. Used by the
+/// [`crate::kernel::FastOps`] impl for rows too short to amortize
+/// building per-scalar split tables.
+///
+/// Caller guarantees `s != 0` and equal slice lengths.
+pub(crate) fn mul_row_add_log16(dst: &mut [Gf2_16], src: &[Gf2_16], s: Gf2_16) {
+    debug_assert!(s.0 != 0);
+    let t = tables16();
+    let ls = t.log[s.0 as usize] as usize;
+    for (d, &x) in dst.iter_mut().zip(src) {
+        if x.0 != 0 {
+            d.0 ^= t.exp[ls + t.log[x.0 as usize] as usize];
+        }
+    }
+}
+
+/// Log-domain in-place row scaling for `GF(2^16)` (caller guarantees
+/// `s != 0`).
+pub(crate) fn scale_row_log16(row: &mut [Gf2_16], s: Gf2_16) {
+    debug_assert!(s.0 != 0);
+    let t = tables16();
+    let ls = t.log[s.0 as usize] as usize;
+    for x in row.iter_mut() {
+        if x.0 != 0 {
+            x.0 = t.exp[ls + t.log[x.0 as usize] as usize];
+        }
+    }
+}
+
 /// `GF(2^32)` via the generic carry-less implementation.
 pub type Gf2_32 = Gf2m<32>;
 

@@ -12,8 +12,13 @@
 //!   polynomials,
 //! - [`matrix::Matrix`] — dense matrices with multiplication, stacking and
 //!   slicing,
-//! - [`linalg`] — Gaussian elimination: rank, determinant-zero testing,
-//!   inversion, solving, and kernel bases.
+//! - [`linalg`] — scalar Gaussian elimination: rank, determinant-zero
+//!   testing, inversion, solving, and kernel bases (the reference path),
+//! - [`kernel`] — the [`kernel::FastOps`] row-kernel specialization trait
+//!   and kernelized linear algebra, bit-identical to [`linalg`] but
+//!   table-driven for `GF(256)` and `GF(2^16)`,
+//! - [`bytes`] — row-major `GF(256)` byte-slab storage
+//!   ([`bytes::ByteMatrix`]) with fully table-driven row kernels.
 //!
 //! # Example
 //!
@@ -31,14 +36,18 @@
 //! # }
 //! ```
 
+pub mod bytes;
 pub mod field;
 pub mod gf256;
 pub mod gf2m;
+pub mod kernel;
 pub mod linalg;
 pub mod matrix;
 pub mod poly2;
 
+pub use bytes::ByteMatrix;
 pub use field::Field;
 pub use gf256::Gf256;
 pub use gf2m::{Gf2_16, Gf2_32, Gf2m};
+pub use kernel::FastOps;
 pub use matrix::Matrix;

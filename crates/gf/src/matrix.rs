@@ -31,11 +31,18 @@ pub struct Matrix<F> {
 
 impl<F: Field> Matrix<F> {
     /// The all-zero `rows × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
     pub fn zero(rows: usize, cols: usize) -> Self {
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix dimensions overflow usize");
         Matrix {
             rows,
             cols,
-            data: vec![F::ZERO; rows * cols],
+            data: vec![F::ZERO; len],
         }
     }
 
@@ -49,8 +56,15 @@ impl<F: Field> Matrix<F> {
     }
 
     /// Builds a matrix by evaluating `f(row, col)` for every entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> F) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix dimensions overflow usize");
+        let mut data = Vec::with_capacity(len);
         for r in 0..rows {
             for c in 0..cols {
                 data.push(f(r, c));
@@ -156,7 +170,11 @@ impl<F: Field> Matrix<F> {
     ///
     /// Panics unless `self.cols() == rhs.rows()`.
     pub fn mul(&self, rhs: &Self) -> Self {
-        assert_eq!(self.cols, rhs.rows, "mul dim mismatch");
+        assert_eq!(
+            self.cols, rhs.rows,
+            "mul dim mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
         let mut out = Self::zero(self.rows, rhs.cols);
         for r in 0..self.rows {
             for k in 0..self.cols {
@@ -255,6 +273,65 @@ impl<F: Field> Matrix<F> {
         let all_rows: Vec<usize> = (0..self.rows).collect();
         self.submatrix(&all_rows, cols)
     }
+
+    /// Swaps two rows in place (no-op when `a == b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        assert!(
+            a < self.rows && b < self.rows,
+            "swap_rows({a}, {b}) out of bounds ({} rows)",
+            self.rows
+        );
+        if a == b {
+            return;
+        }
+        let w = self.cols;
+        let (ra, rb) = split_rows_mut(&mut self.data, w, a, b);
+        ra.swap_with_slice(rb);
+    }
+
+    /// Disjoint mutable borrows of rows `a` and `b` — the split-borrow the
+    /// row-kernel elimination in [`crate::kernel`] needs ("add a multiple
+    /// of row `b` into row `a`").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either index is out of bounds.
+    pub fn two_rows_mut(&mut self, a: usize, b: usize) -> (&mut [F], &mut [F]) {
+        assert!(
+            a < self.rows && b < self.rows,
+            "two_rows_mut({a}, {b}) out of bounds ({} rows)",
+            self.rows
+        );
+        split_rows_mut(&mut self.data, self.cols, a, b)
+    }
+}
+
+/// Splits two distinct rows of width `w` out of a flat row-major slab —
+/// the split-borrow both [`Matrix`] and [`crate::bytes::ByteMatrix`]
+/// need for row-kernel elimination.
+///
+/// # Panics
+///
+/// Panics if `a == b`.
+pub(crate) fn split_rows_mut<T>(
+    data: &mut [T],
+    w: usize,
+    a: usize,
+    b: usize,
+) -> (&mut [T], &mut [T]) {
+    assert_ne!(a, b, "split_rows_mut requires distinct row indices");
+    if a < b {
+        let (head, tail) = data.split_at_mut(b * w);
+        (&mut head[a * w..(a + 1) * w], &mut tail[..w])
+    } else {
+        let (head, tail) = data.split_at_mut(a * w);
+        let rb = &mut head[b * w..(b + 1) * w];
+        (&mut tail[..w], rb)
+    }
 }
 
 impl<F: Field> Index<(usize, usize)> for Matrix<F> {
@@ -262,7 +339,12 @@ impl<F: Field> Index<(usize, usize)> for Matrix<F> {
 
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &F {
-        debug_assert!(r < self.rows && c < self.cols);
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "matrix index ({r}, {c}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
         &self.data[r * self.cols + c]
     }
 }
@@ -270,7 +352,12 @@ impl<F: Field> Index<(usize, usize)> for Matrix<F> {
 impl<F: Field> IndexMut<(usize, usize)> for Matrix<F> {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut F {
-        debug_assert!(r < self.rows && c < self.cols);
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "matrix index ({r}, {c}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -367,6 +454,36 @@ mod tests {
         let a = m(&[&[1, 2, 3]]);
         let b = m(&[&[1, 2]]);
         let _ = a.mul(&b);
+    }
+
+    #[test]
+    fn swap_and_two_rows_mut() {
+        let mut a = m(&[&[1, 2], &[3, 4], &[5, 6]]);
+        a.swap_rows(0, 2);
+        assert_eq!(a, m(&[&[5, 6], &[3, 4], &[1, 2]]));
+        a.swap_rows(1, 1); // no-op
+        let (top, bottom) = a.two_rows_mut(0, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(bottom[0].to_u64(), 1);
+        // Order of the requested indices is preserved.
+        let (r2, r0) = a.two_rows_mut(2, 0);
+        assert_eq!(r2[0].to_u64(), 1);
+        assert_eq!(r0[0].to_u64(), 5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of bounds for 2x3 matrix")]
+    fn index_out_of_bounds_panics_with_shape() {
+        let a = m(&[&[1, 2, 3], &[4, 5, 6]]);
+        let _ = a[(2, 0)];
+    }
+
+    #[test]
+    #[should_panic(expected = "two_rows_mut(0, 3) out of bounds")]
+    fn two_rows_mut_rejects_out_of_bounds() {
+        let mut a = m(&[&[1, 2], &[3, 4]]);
+        let _ = a.two_rows_mut(0, 3);
     }
 
     #[test]

@@ -1,6 +1,20 @@
 //! Sweep results: per-job metrics, the aggregated report, and its
 //! deterministic JSON rendering.
+//!
+//! Two serialization flavors exist:
+//!
+//! - [`SweepReport::to_json`] / [`SweepReport::to_json_pretty`] — the
+//!   **canonical** form, byte-identical for identical sweeps regardless of
+//!   thread count (the determinism tests pin this). Wall-clock timings are
+//!   excluded, because they vary run to run.
+//! - [`SweepReport::to_json_timed`] / [`SweepReport::to_json_pretty_timed`]
+//!   — the same document plus the measured per-phase wall-clock
+//!   nanoseconds (`wall_*_ns` keys). This is what `nab-sim --timings` and
+//!   the `perf` binary's `BENCH_sweep.json` emit; the *schema* is still
+//!   deterministic (fixed keys in a fixed order), only the nanosecond
+//!   values vary.
 
+use nab::engine::PhaseWallNanos;
 use nab_netgraph::NodeId;
 
 use crate::json::Json;
@@ -72,6 +86,12 @@ pub struct JobMetrics {
     pub rho1: u64,
     /// The paper's bounds, when the scenario asked for them.
     pub bounds: Option<JobBounds>,
+    /// Summed per-phase **wall-clock** nanoseconds across the job's
+    /// instances (measured, not simulated; excluded from canonical JSON).
+    pub wall: PhaseWallNanos,
+    /// Total measured wall-clock nanoseconds for the job's measurement
+    /// loop (includes engine setup and input generation).
+    pub wall_ns: u64,
 }
 
 /// One job's parameters and outcome.
@@ -136,6 +156,9 @@ pub struct Aggregate {
     pub all_correct: bool,
     /// Total exposure events.
     pub exposed_nodes: usize,
+    /// Summed measured wall-clock nanoseconds over all measured jobs
+    /// (excluded from canonical JSON).
+    pub wall_ns: u64,
 }
 
 impl Aggregate {
@@ -157,6 +180,7 @@ impl Aggregate {
             dispute_budget_violated: false,
             all_correct: true,
             exposed_nodes: 0,
+            wall_ns: 0,
         };
         let mut throughput_sum = 0.0;
         for outcome in outcomes {
@@ -178,6 +202,7 @@ impl Aggregate {
                         agg.all_correct = false;
                     }
                     agg.exposed_nodes += m.exposed_history.len();
+                    agg.wall_ns += m.wall_ns;
                 }
                 Err(_) => agg.rejected_jobs += 1,
             }
@@ -210,24 +235,46 @@ pub struct SweepReport {
 
 impl SweepReport {
     /// Serializes to compact JSON. Byte-identical for identical sweeps
-    /// regardless of worker-thread count.
+    /// regardless of worker-thread count (wall-clock timings excluded).
     pub fn to_json(&self) -> String {
-        self.json_value().render()
+        self.to_json_value(false).render()
     }
 
     /// Serializes to pretty-printed JSON (same determinism guarantee).
     pub fn to_json_pretty(&self) -> String {
-        self.json_value().render_pretty()
+        self.to_json_value(false).render_pretty()
     }
 
-    fn json_value(&self) -> Json {
+    /// Compact JSON including measured `wall_*_ns` timing fields (schema
+    /// deterministic, values run-dependent).
+    pub fn to_json_timed(&self) -> String {
+        self.to_json_value(true).render()
+    }
+
+    /// Pretty JSON including measured `wall_*_ns` timing fields.
+    pub fn to_json_pretty_timed(&self) -> String {
+        self.to_json_value(true).render_pretty()
+    }
+
+    /// The report as a JSON value tree, optionally with wall-clock
+    /// timings — exposed so downstream tooling (the `perf` binary) can
+    /// embed the report in a larger document.
+    pub fn to_json_value(&self, with_timings: bool) -> Json {
         Json::obj(vec![
             ("scenario", Json::str(&self.scenario)),
             ("topology", Json::str(&self.topology)),
             ("adversary", Json::str(&self.adversary)),
             ("faults", Json::str(&self.faults)),
-            ("jobs", Json::Arr(self.jobs.iter().map(job_json).collect())),
-            ("aggregate", aggregate_json(&self.aggregate)),
+            (
+                "jobs",
+                Json::Arr(
+                    self.jobs
+                        .iter()
+                        .map(|j| job_json(j, with_timings))
+                        .collect(),
+                ),
+            ),
+            ("aggregate", aggregate_json(&self.aggregate, with_timings)),
         ])
     }
 
@@ -266,7 +313,7 @@ impl SweepReport {
     }
 }
 
-fn job_json(job: &JobOutcome) -> Json {
+fn job_json(job: &JobOutcome, with_timings: bool) -> Json {
     let mut pairs = vec![
         ("index", Json::U64(job.index as u64)),
         ("n", Json::U64(job.n as u64)),
@@ -288,13 +335,13 @@ fn job_json(job: &JobOutcome) -> Json {
         }
     }
     match &job.result {
-        Ok(m) => pairs.push(("metrics", metrics_json(m))),
+        Ok(m) => pairs.push(("metrics", metrics_json(m, with_timings))),
         Err(e) => pairs.push(("error", Json::str(e))),
     }
     Json::obj(pairs)
 }
 
-fn metrics_json(m: &JobMetrics) -> Json {
+fn metrics_json(m: &JobMetrics, with_timings: bool) -> Json {
     let mut pairs = vec![
         ("instances", Json::U64(m.instances as u64)),
         ("total_bits", Json::U64(m.total_bits)),
@@ -357,11 +404,18 @@ fn metrics_json(m: &JobMetrics) -> Json {
             ]),
         ));
     }
+    if with_timings {
+        pairs.push(("wall_phase1_ns", Json::U64(m.wall.phase1)));
+        pairs.push(("wall_equality_ns", Json::U64(m.wall.equality)));
+        pairs.push(("wall_flags_ns", Json::U64(m.wall.flags)));
+        pairs.push(("wall_dispute_ns", Json::U64(m.wall.dispute)));
+        pairs.push(("wall_total_ns", Json::U64(m.wall_ns)));
+    }
     Json::obj(pairs)
 }
 
-fn aggregate_json(a: &Aggregate) -> Json {
-    Json::obj(vec![
+fn aggregate_json(a: &Aggregate, with_timings: bool) -> Json {
+    let mut pairs = vec![
         ("jobs", Json::U64(a.jobs as u64)),
         ("ok_jobs", Json::U64(a.ok_jobs as u64)),
         ("rejected_jobs", Json::U64(a.rejected_jobs as u64)),
@@ -382,7 +436,11 @@ fn aggregate_json(a: &Aggregate) -> Json {
         ),
         ("all_correct", Json::Bool(a.all_correct)),
         ("exposed_nodes", Json::U64(a.exposed_nodes as u64)),
-    ])
+    ];
+    if with_timings {
+        pairs.push(("wall_total_ns", Json::U64(a.wall_ns)));
+    }
+    Json::obj(pairs)
 }
 
 #[cfg(test)]
@@ -413,6 +471,13 @@ mod tests {
             gamma1: 6,
             rho1: 4,
             bounds: None,
+            wall: PhaseWallNanos {
+                phase1: 100,
+                equality: 50,
+                flags: 25,
+                dispute: 0,
+            },
+            wall_ns: 200,
         }
     }
 
@@ -500,5 +565,36 @@ mod tests {
         let t = report.summary_table();
         assert!(t.contains("rejected"));
         assert!(t.lines().count() >= 4);
+    }
+
+    #[test]
+    fn wall_timings_only_appear_in_timed_json() {
+        let report = SweepReport {
+            scenario: "t".into(),
+            topology: "complete:$n:$cap".into(),
+            adversary: "honest".into(),
+            faults: "none".into(),
+            jobs: vec![outcome(0, Ok(metrics()))],
+            aggregate: Aggregate::from_outcomes(&[outcome(0, Ok(metrics()))]),
+        };
+        // Canonical JSON stays timing-free (the determinism guarantee).
+        let canonical = report.to_json();
+        assert!(!canonical.contains("wall_"), "{canonical}");
+        // Timed JSON carries the full per-phase breakdown plus totals.
+        let timed = report.to_json_timed();
+        for key in [
+            "\"wall_phase1_ns\":100",
+            "\"wall_equality_ns\":50",
+            "\"wall_flags_ns\":25",
+            "\"wall_dispute_ns\":0",
+            "\"wall_total_ns\":200",
+        ] {
+            assert!(timed.contains(key), "missing {key} in {timed}");
+        }
+        // The aggregate total is the sum over measured jobs.
+        assert!(timed.ends_with("\"wall_total_ns\":200}}"), "{timed}");
+        assert!(report
+            .to_json_pretty_timed()
+            .contains("\"wall_total_ns\": 200"));
     }
 }

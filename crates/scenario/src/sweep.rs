@@ -18,7 +18,7 @@ use std::sync::Mutex;
 use nab::adversary::NabAdversary;
 use nab::bounds::bounds_report;
 use nab::dispute::DisputeState;
-use nab::engine::{instance_correct, NabConfig, NabEngine, SOURCE};
+use nab::engine::{instance_correct, NabConfig, NabEngine, PhaseWallNanos, SOURCE};
 use nab::value::{Value, SYMBOL_BITS};
 use nab_netgraph::{DiGraph, NodeId};
 use rand::rngs::StdRng;
@@ -243,6 +243,7 @@ fn measure(
     faulty: &BTreeSet<NodeId>,
 ) -> Result<JobMetrics, String> {
     spec.adversary.validate_for(graph.node_count(), faulty)?;
+    let job_start = std::time::Instant::now();
     let cfg = NabConfig {
         f: job.f,
         symbols: job.symbols,
@@ -287,6 +288,8 @@ fn measure(
         gamma1: 0,
         rho1: 0,
         bounds: None,
+        wall: PhaseWallNanos::default(),
+        wall_ns: 0,
     };
     // Per-stream instance trace for the steady-state tail:
     // (time, useful bits, disputed). A defaulted instance (source already
@@ -316,6 +319,7 @@ fn measure(
             metrics.equality_time += rep.times.equality;
             metrics.flags_time += rep.times.flags;
             metrics.dispute_time += rep.times.dispute;
+            metrics.wall.accumulate(&rep.wall);
             metrics.dispute_rounds += usize::from(rep.dispute_ran);
             metrics.mismatch_instances += usize::from(rep.mismatch_detected);
             metrics.defaulted_instances += usize::from(rep.defaulted);
@@ -393,6 +397,7 @@ fn measure(
                 },
             });
     }
+    metrics.wall_ns = job_start.elapsed().as_nanos() as u64;
     Ok(metrics)
 }
 

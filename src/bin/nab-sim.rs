@@ -43,6 +43,10 @@ SCENARIO MODE:
     --threads N         worker threads for the sweep (0 = one per CPU;
                         overrides the file's `threads` key)
     --json PATH         write the full sweep report as JSON (- = stdout)
+    --timings           include measured wall-clock wall_*_ns fields in the
+                        JSON report (requires --json; omitted by default so
+                        identical sweeps serialize byte-identically — see
+                        docs/perf.md)
 
 SINGLE-RUN MODE:
     --topology SPEC     topology (default complete:4:2). Families:
@@ -71,6 +75,7 @@ struct Args {
     scenario: Option<String>,
     threads: Option<usize>,
     json: Option<String>,
+    timings: bool,
     topology: String,
     f: usize,
     symbols: usize,
@@ -87,6 +92,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         scenario: None,
         threads: None,
         json: None,
+        timings: false,
         topology: "complete:4:2".into(),
         f: 1,
         symbols: 64,
@@ -110,7 +116,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         "--broadcast",
         "--bounds",
     ];
-    const SCENARIO_ONLY: [&str; 2] = ["--threads", "--json"];
+    const SCENARIO_ONLY: [&str; 3] = ["--threads", "--json", "--timings"];
     let mut single_flags: Vec<&'static str> = Vec::new();
     let mut scenario_flags: Vec<&'static str> = Vec::new();
     let mut seen_flags: Vec<String> = Vec::new();
@@ -149,6 +155,7 @@ fn parse_args() -> Result<Option<Args>, String> {
                 )
             }
             "--json" => args.json = Some(take(&mut i)?),
+            "--timings" => args.timings = true,
             "--topology" => args.topology = take(&mut i)?,
             "--f" => args.f = take(&mut i)?.parse().map_err(|e| format!("--f: {e}"))?,
             "--symbols" => {
@@ -220,6 +227,13 @@ fn build_topology(spec: &str, f: usize, seed: u64) -> Result<DiGraph, String> {
 
 fn run_scenario_mode(args: &Args) -> Result<ExitCode, String> {
     let path = args.scenario.as_deref().expect("scenario mode");
+    if args.timings && args.json.is_none() {
+        return Err(
+            "--timings adds wall_*_ns fields to the JSON report; pass --json PATH (or --json -) \
+             to receive it"
+                .into(),
+        );
+    }
     let spec = scenario::load(path).map_err(|e| format!("{path}: {e}"))?;
     let threads = args.threads.unwrap_or(spec.threads);
     eprintln!(
@@ -252,13 +266,21 @@ fn run_scenario_mode(args: &Args) -> Result<ExitCode, String> {
         a.exposed_nodes,
         a.all_correct
     );
+    // Serialize only when --json asked for output.
+    let render = |report: &scenario::SweepReport| {
+        if args.timings {
+            report.to_json_pretty_timed()
+        } else {
+            report.to_json_pretty()
+        }
+    };
     if json_on_stdout {
         eprint!("{summary}");
-        print!("{}", report.to_json_pretty());
+        print!("{}", render(&report));
     } else {
         print!("{summary}");
         if let Some(path) = args.json.as_deref() {
-            std::fs::write(path, report.to_json_pretty())
+            std::fs::write(path, render(&report))
                 .map_err(|e| format!("cannot write {path:?}: {e}"))?;
         }
     }

@@ -212,6 +212,111 @@ fn json_to_stdout_is_pure_json() {
 }
 
 #[test]
+fn timings_flag_adds_nonnegative_wall_fields_and_keeps_stdout_pure() {
+    let dir = std::env::temp_dir().join("nab-sim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("timed.scenario");
+    std::fs::write(
+        &path,
+        "name = timed\n\
+         topology = complete:$n:$cap\n\
+         q = 2\n\
+         n = 4\n\
+         cap = 2\n\
+         symbols = 8\n",
+    )
+    .unwrap();
+    let out = nab_sim(&[
+        "--scenario",
+        path.to_str().unwrap(),
+        "--json",
+        "-",
+        "--timings",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    // Stdout purity must survive --timings: still exactly one JSON doc.
+    assert!(
+        text.starts_with('{') && text.trim_end().ends_with('}'),
+        "stdout must stay pure JSON under --timings, got: {}",
+        &text[..text.len().min(120)]
+    );
+    // Every per-phase wall field is present and parses as a non-negative
+    // integer (u64 syntax: no minus sign, no decimal point).
+    for key in [
+        "\"wall_phase1_ns\"",
+        "\"wall_equality_ns\"",
+        "\"wall_flags_ns\"",
+        "\"wall_dispute_ns\"",
+        "\"wall_total_ns\"",
+    ] {
+        let mut found = 0;
+        for (pos, _) in text.match_indices(key) {
+            let rest = &text[pos + key.len()..];
+            let rest = rest.trim_start_matches([':', ' ']);
+            let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+            assert!(
+                !digits.is_empty() && digits.parse::<u64>().is_ok(),
+                "{key} must be a non-negative integer, context: {}",
+                &rest[..rest.len().min(40)]
+            );
+            found += 1;
+        }
+        assert!(found > 0, "timing field {key} missing from --timings JSON");
+    }
+    // An instance that runs Phase 1 must have spent measurable time there.
+    let total_key = "\"wall_total_ns\": ";
+    let pos = text.rfind(total_key).unwrap();
+    let digits: String = text[pos + total_key.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    assert!(
+        digits.parse::<u64>().unwrap() > 0,
+        "aggregate wall time is zero"
+    );
+}
+
+#[test]
+fn timings_are_excluded_without_the_flag() {
+    // Regression pin: the canonical --json output must stay byte-stable
+    // across runs, so wall-clock fields may never leak into it.
+    let dir = std::env::temp_dir().join("nab-sim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("untimed.scenario");
+    std::fs::write(&path, "name = untimed\nq = 1\nsymbols = 8\n").unwrap();
+    let out = nab_sim(&["--scenario", path.to_str().unwrap(), "--json", "-"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        !text.contains("wall_"),
+        "canonical JSON must not contain wall-clock fields"
+    );
+}
+
+#[test]
+fn timings_flag_requires_scenario_mode() {
+    let out = nab_sim(&["--timings"]);
+    assert!(!out.status.success(), "--timings must not be ignored");
+    assert!(stderr(&out).contains("requires --scenario"));
+}
+
+#[test]
+fn timings_without_json_is_a_clear_error_not_a_silent_noop() {
+    let dir = std::env::temp_dir().join("nab-sim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("timed-nojson.scenario");
+    std::fs::write(&path, "name = timed-nojson\nq = 1\nsymbols = 8\n").unwrap();
+    let out = nab_sim(&["--scenario", path.to_str().unwrap(), "--timings"]);
+    assert!(
+        !out.status.success(),
+        "--timings without --json has nowhere to put the fields"
+    );
+    let err = stderr(&out);
+    assert!(err.contains("--json"), "error must point at --json: {err}");
+}
+
+#[test]
 fn scenario_mode_reports_parse_errors_with_line_numbers() {
     let dir = std::env::temp_dir().join("nab-sim-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
