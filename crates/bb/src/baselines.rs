@@ -72,13 +72,34 @@ pub fn oblivious_full_value_broadcast(
     adversary: &mut dyn EigAdversary<u64>,
 ) -> Option<BaselineReport> {
     let router = PathRouter::build(g, f)?;
+    Some(oblivious_broadcast_with_router(
+        g, &router, source, f, l_bits, value, faulty, adversary,
+    ))
+}
+
+/// [`oblivious_full_value_broadcast`] against a pre-built routing table —
+/// the shared-setup entry point: callers that already realized a network
+/// plan (e.g. the NAB planning layer, which owns a `2f+1`-disjoint-path
+/// router per network) lend it here instead of paying the all-pairs
+/// vertex-disjoint-path construction again per baseline run.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
+pub fn oblivious_broadcast_with_router(
+    g: &DiGraph,
+    router: &PathRouter,
+    source: NodeId,
+    f: usize,
+    l_bits: u64,
+    value: u64,
+    faulty: &BTreeSet<NodeId>,
+    adversary: &mut dyn EigAdversary<u64>,
+) -> BaselineReport {
     let mut net: NetSim<Routed<u64>> = NetSim::new(g.clone());
     net.set_record_transcript(true);
     let participants: Vec<NodeId> = g.nodes().collect();
     let res = {
         let mut chan = RoutedChannel {
             net: &mut net,
-            router: &router,
+            router,
             faulty,
         };
         run_eig(
@@ -96,11 +117,11 @@ pub fn oblivious_full_value_broadcast(
         .iter()
         .filter(|p| !faulty.contains(p))
         .all(|p| res.decisions[p] == value || faulty.contains(&source));
-    Some(BaselineReport {
+    BaselineReport {
         time: net.clock(),
         bits_carried: net.transcript().total_bits(),
         correct,
-    })
+    }
 }
 
 /// Throughput (bits per time unit) of the oblivious baseline on `g` in the
@@ -185,6 +206,35 @@ mod tests {
             &mut HonestAdversary
         )
         .is_none());
+    }
+
+    #[test]
+    fn borrowed_router_matches_private_router() {
+        let g = gen::complete(4, 2);
+        let router = PathRouter::build(&g, 1).unwrap();
+        let via_shared = oblivious_broadcast_with_router(
+            &g,
+            &router,
+            0,
+            1,
+            64,
+            123,
+            &BTreeSet::new(),
+            &mut HonestAdversary,
+        );
+        let via_private = oblivious_full_value_broadcast(
+            &g,
+            0,
+            1,
+            64,
+            123,
+            &BTreeSet::new(),
+            &mut HonestAdversary,
+        )
+        .unwrap();
+        assert_eq!(via_shared.time, via_private.time);
+        assert_eq!(via_shared.bits_carried, via_private.bits_carried);
+        assert!(via_shared.correct);
     }
 
     #[test]

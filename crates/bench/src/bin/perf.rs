@@ -95,10 +95,27 @@ fn run(args: &Args) -> Result<(), String> {
         wall_ns as f64 / 1e6,
         report.aggregate.all_correct
     );
+
+    eprintln!("perf: plan-cache cold vs cached sweep…");
+    let pc = perf::run_plan_cache_bench(args.quick, args.threads)?;
+    println!(
+        "plan-cache ({}, {} jobs, {} threads): no-cache {:.1} ms, fresh cache {:.1} ms, \
+         warm cache {:.1} ms ({} plans built, {} shared fetches, identical reports: {})",
+        pc.scenario,
+        pc.jobs,
+        pc.threads,
+        pc.cold_wall_ns as f64 / 1e6,
+        pc.cache_cold_wall_ns as f64 / 1e6,
+        pc.cache_warm_wall_ns as f64 / 1e6,
+        pc.plan_misses,
+        pc.plan_hits,
+        pc.reports_identical,
+    );
+
     let sweep_path = args.out.join("BENCH_sweep.json");
     std::fs::write(
         &sweep_path,
-        perf::sweep_report_json(&report, wall_ns, threads, args.quick).render_pretty(),
+        perf::sweep_report_json(&report, wall_ns, threads, args.quick, &pc).render_pretty(),
     )
     .map_err(|e| format!("cannot write {}: {e}", sweep_path.display()))?;
     eprintln!("perf: wrote {}", sweep_path.display());

@@ -11,7 +11,8 @@ use std::collections::BTreeSet;
 
 use nab::adversary::HonestStrategy;
 use nab::engine::{run_many, NabConfig, NabEngine};
-use nab_bb::baselines::oblivious_throughput;
+use nab_bb::baselines::oblivious_broadcast_with_router;
+use nab_bb::eig::HonestAdversary;
 use nab_netgraph::{gen, DiGraph};
 
 /// One sweep point: capacity scale vs both throughputs.
@@ -77,7 +78,20 @@ pub fn run(scales: &[u64], symbols: usize, q: usize) -> Vec<BaselineRow> {
             .expect("run succeeds");
         assert!(nab.all_correct);
         let l_bits = (symbols as u64) * 16;
-        let oblivious = oblivious_throughput(&g, 0, 1, l_bits).expect("connectivity ok");
+        // The engine's plan already owns the 2f+1-disjoint-path router
+        // for this network; the baseline borrows it instead of paying
+        // the all-pairs disjoint-path construction a second time.
+        let rep = oblivious_broadcast_with_router(
+            &g,
+            engine.plan().router(),
+            0,
+            1,
+            l_bits,
+            0xA5A5,
+            &BTreeSet::new(),
+            &mut HonestAdversary,
+        );
+        let oblivious = l_bits as f64 / rep.time;
         rows.push(BaselineRow {
             scale,
             nab: nab.throughput,

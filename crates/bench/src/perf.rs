@@ -27,11 +27,17 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Bumped whenever a key is added to / removed from the emitted JSON.
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: plan-cache stats in timed sweep metrics/aggregate plus the
+/// `plan_cache` cold-vs-cached comparison section.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The bundled scenario the sweep benchmark runs (the E3 complete-graph
 /// grid), embedded so the `perf` binary works from any directory.
 pub const SWEEP_SCENARIO: &str = include_str!("../../../scenarios/complete-sweep.scenario");
+
+/// The scenario the plan-cache benchmark runs: the 120-job `scale-grid`,
+/// whose 12 distinct networks make plan sharing measurable.
+pub const PLAN_CACHE_SCENARIO: &str = include_str!("../../../scenarios/scale-grid.scenario");
 
 /// One timed GF micro-benchmark case.
 #[derive(Debug, Clone)]
@@ -274,15 +280,131 @@ pub fn run_sweep_bench(quick: bool, threads: usize) -> Result<(SweepReport, u64,
     Ok((report, t0.elapsed().as_nanos() as u64, resolved))
 }
 
-/// Renders the sweep benchmark report (`BENCH_sweep.json`): run metadata
-/// plus the full timed sweep report (per-job `wall_*_ns` included).
-pub fn sweep_report_json(report: &SweepReport, wall_ns: u64, threads: usize, quick: bool) -> Json {
+/// The cold-vs-cached plan-cache comparison: the same sweep measured
+/// with per-engine planning (cache off), with a fresh sweep-private
+/// cache, and against a pre-warmed external cache.
+#[derive(Debug, Clone)]
+pub struct PlanCacheBench {
+    /// Scenario name the comparison ran.
+    pub scenario: String,
+    /// Jobs in the sweep grid.
+    pub jobs: usize,
+    /// Worker threads used for all three runs.
+    pub threads: usize,
+    /// Wall ns with `plan_cache = false` (every engine plans privately).
+    pub cold_wall_ns: u64,
+    /// Wall ns with a fresh cache (plans built once, then shared).
+    pub cache_cold_wall_ns: u64,
+    /// Wall ns re-running against the already-populated cache.
+    pub cache_warm_wall_ns: u64,
+    /// Cache stats after the fresh-cache run (distinct networks built).
+    pub plan_misses: u64,
+    /// Cache hits during the fresh-cache run (shared fetches).
+    pub plan_hits: u64,
+    /// Wall ns the fresh-cache run spent building plans.
+    pub plan_build_ns: u64,
+    /// Whether all three runs produced byte-identical canonical JSON
+    /// (the tentpole guarantee; recorded so a regression is visible in
+    /// the committed baseline).
+    pub reports_identical: bool,
+}
+
+/// Runs the plan-cache comparison on the `scale-grid` scenario.
+///
+/// `quick` shrinks the grid to a smoke-sized subset that still contains
+/// duplicate networks (so hits stay observable).
+///
+/// # Errors
+///
+/// Returns the scenario parse/validation failure, if any.
+pub fn run_plan_cache_bench(quick: bool, threads: usize) -> Result<PlanCacheBench, String> {
+    let mut spec = parse_str(PLAN_CACHE_SCENARIO).map_err(|e| e.to_string())?;
+    if quick {
+        spec.q = 1;
+        spec.seeds = spec.seeds.min(2);
+        spec.symbols.truncate(1);
+        spec.n.truncate(2);
+        spec.cap.truncate(2);
+    }
+    let resolved = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+
+    spec.plan_cache = false;
+    let t0 = Instant::now();
+    let cold = nab_scenario::sweep::run_sweep(&spec, resolved)?;
+    let cold_wall_ns = t0.elapsed().as_nanos() as u64;
+
+    spec.plan_cache = true;
+    let cache = nab::plan::PlanCache::new();
+    let t0 = Instant::now();
+    let cached = nab_scenario::run_sweep_with_cache(&spec, resolved, Some(&cache))?;
+    let cache_cold_wall_ns = t0.elapsed().as_nanos() as u64;
+    let stats = cache.stats();
+
+    let t0 = Instant::now();
+    let warm = nab_scenario::run_sweep_with_cache(&spec, resolved, Some(&cache))?;
+    let cache_warm_wall_ns = t0.elapsed().as_nanos() as u64;
+
+    let reference = cold.to_json();
+    Ok(PlanCacheBench {
+        scenario: spec.name.clone(),
+        jobs: spec.job_count(),
+        threads: resolved,
+        cold_wall_ns,
+        cache_cold_wall_ns,
+        cache_warm_wall_ns,
+        plan_misses: stats.misses,
+        plan_hits: stats.hits,
+        plan_build_ns: stats.build_ns,
+        reports_identical: reference == cached.to_json() && reference == warm.to_json(),
+    })
+}
+
+/// Renders the sweep benchmark report (`BENCH_sweep.json`): run metadata,
+/// the full timed sweep report (per-job `wall_*_ns` and plan-cache stats
+/// included), and the cold-vs-cached `plan_cache` comparison.
+pub fn sweep_report_json(
+    report: &SweepReport,
+    wall_ns: u64,
+    threads: usize,
+    quick: bool,
+    plan_cache: &PlanCacheBench,
+) -> Json {
     Json::obj(vec![
         ("report", Json::str("sweep")),
         ("schema", Json::U64(SCHEMA_VERSION)),
         ("quick", Json::Bool(quick)),
         ("threads", Json::U64(threads as u64)),
         ("wall_ns", Json::U64(wall_ns)),
+        (
+            "plan_cache",
+            Json::obj(vec![
+                ("scenario", Json::str(&plan_cache.scenario)),
+                ("jobs", Json::U64(plan_cache.jobs as u64)),
+                ("threads", Json::U64(plan_cache.threads as u64)),
+                ("cold_wall_ns", Json::U64(plan_cache.cold_wall_ns)),
+                (
+                    "cache_cold_wall_ns",
+                    Json::U64(plan_cache.cache_cold_wall_ns),
+                ),
+                (
+                    "cache_warm_wall_ns",
+                    Json::U64(plan_cache.cache_warm_wall_ns),
+                ),
+                ("plan_misses", Json::U64(plan_cache.plan_misses)),
+                ("plan_hits", Json::U64(plan_cache.plan_hits)),
+                ("plan_build_ns", Json::U64(plan_cache.plan_build_ns)),
+                (
+                    "reports_identical",
+                    Json::Bool(plan_cache.reports_identical),
+                ),
+            ]),
+        ),
         ("sweep", report.to_json_value(true)),
     ])
 }
@@ -317,7 +439,7 @@ mod tests {
             total_ns: 1234,
         }];
         let j = gf_report_json(&cases, true).render();
-        assert!(j.starts_with("{\"report\":\"gf\",\"schema\":1,\"quick\":true,\"cases\":["));
+        assert!(j.starts_with("{\"report\":\"gf\",\"schema\":2,\"quick\":true,\"cases\":["));
         for key in [
             "\"op\":",
             "\"tier\":",
@@ -347,19 +469,62 @@ mod tests {
         }
     }
 
+    fn fixture_plan_cache_bench() -> PlanCacheBench {
+        PlanCacheBench {
+            scenario: "scale-grid".into(),
+            jobs: 8,
+            threads: 2,
+            cold_wall_ns: 300,
+            cache_cold_wall_ns: 200,
+            cache_warm_wall_ns: 100,
+            plan_misses: 4,
+            plan_hits: 4,
+            plan_build_ns: 50,
+            reports_identical: true,
+        }
+    }
+
     #[test]
     fn quick_sweep_bench_produces_timed_report() {
         let (report, wall_ns, threads) = run_sweep_bench(true, 2).expect("bundled scenario runs");
         assert_eq!(threads, 2, "explicit thread counts pass through");
         assert!(report.aggregate.ok_jobs > 0);
         assert!(report.aggregate.all_correct);
-        let j = sweep_report_json(&report, wall_ns, threads, true).render();
-        assert!(j.starts_with("{\"report\":\"sweep\",\"schema\":1"));
+        let j = sweep_report_json(&report, wall_ns, threads, true, &fixture_plan_cache_bench())
+            .render();
+        assert!(j.starts_with("{\"report\":\"sweep\",\"schema\":2"));
         assert!(
             j.contains("\"wall_total_ns\":"),
             "timed sweep embedded: {j}"
         );
+        assert!(
+            j.contains("\"plan_cache_hits\":"),
+            "per-job cache stats embedded: {j}"
+        );
+        assert!(j.contains(
+            "\"plan_cache\":{\"scenario\":\"scale-grid\",\"jobs\":8,\"threads\":2,\
+             \"cold_wall_ns\":300,\"cache_cold_wall_ns\":200,\"cache_warm_wall_ns\":100,\
+             \"plan_misses\":4,\"plan_hits\":4,\"plan_build_ns\":50,\
+             \"reports_identical\":true}"
+        ));
         assert!(j.contains("\"sweep\":{\"scenario\":\"complete-sweep\""));
+    }
+
+    #[test]
+    fn quick_plan_cache_bench_shares_plans_and_stays_identical() {
+        let b = run_plan_cache_bench(true, 2).expect("scale-grid runs");
+        assert_eq!(b.scenario, "scale-grid");
+        assert!(b.jobs >= 8, "quick grid keeps duplicate networks");
+        assert!(b.plan_misses > 0);
+        assert!(
+            b.plan_hits > 0,
+            "duplicate networks must hit the cache: {b:?}"
+        );
+        assert!(b.plan_build_ns > 0);
+        assert!(
+            b.reports_identical,
+            "cache state must not perturb canonical JSON"
+        );
     }
 
     #[test]

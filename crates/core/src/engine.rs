@@ -1,12 +1,19 @@
-//! The NAB engine: orchestrates Phases 1–3 across repeated instances,
-//! evolving `G_k` through dispute control (Section 2).
+//! The NAB execution engine: orchestrates Phases 1–3 across repeated
+//! instances, evolving `G_k` through dispute control (Section 2).
+//!
+//! One-time network setup (validation, γ₁/ρ₁, arborescence packing, the
+//! disjoint-path router) lives in the planning layer
+//! ([`crate::plan::ExecutionPlan`]); the engine borrows a plan via
+//! [`Arc`] and keeps only per-instance state, so many engines — a sweep
+//! job's interleaved streams, or every job of a grid sharing a topology —
+//! execute against one shared plan.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use nab_bb::baselines::RoutedChannel;
-use nab_bb::router::{PathRouter, Routed};
-use nab_netgraph::arborescence::pack_arborescences;
-use nab_netgraph::connectivity::supports_byzantine_broadcast;
+use nab_bb::router::Routed;
+use nab_netgraph::arborescence::{pack_arborescences, Arborescence};
 use nab_netgraph::{DiGraph, NodeId};
 use nab_sim::NetSim;
 
@@ -18,6 +25,7 @@ use crate::phase1::run_phase1;
 use crate::phase2::{
     broadcast_value, honest_claims, run_equality_phase, run_flag_broadcast, BroadcastKind,
 };
+use crate::plan::ExecutionPlan;
 use crate::value::Value;
 
 /// The broadcast source — the paper's "node 1" is node 0 here.
@@ -56,6 +64,25 @@ pub enum NabError {
         /// Provided symbol count.
         got: usize,
     },
+    /// Edmonds arborescence packing failed at the computed broadcast
+    /// rate — a planning failure that carries the topology/rate context
+    /// so a bad scenario reports cleanly instead of aborting a sweep.
+    ArborescencePacking {
+        /// Active nodes of the graph being planned.
+        n: usize,
+        /// Live edges of the graph being planned.
+        edges: usize,
+        /// The rate `γ` the packing was attempted at.
+        gamma: u64,
+    },
+    /// [`NabEngine::from_plan`] was given a plan built for a different
+    /// fault bound than the configuration asks for.
+    PlanMismatch {
+        /// The plan's fault bound.
+        plan_f: usize,
+        /// The configuration's fault bound.
+        cfg_f: usize,
+    },
 }
 
 impl std::fmt::Display for NabError {
@@ -72,6 +99,21 @@ impl std::fmt::Display for NabError {
             }
             NabError::WrongInputSize { expect, got } => {
                 write!(f, "input must have {expect} symbols, got {got}")
+            }
+            NabError::ArborescencePacking { n, edges, gamma } => {
+                write!(
+                    f,
+                    "Edmonds packing failed at rate γ={gamma} on a {n}-node, \
+                     {edges}-edge graph (the rate should be achievable; this \
+                     indicates an inconsistent topology)"
+                )
+            }
+            NabError::PlanMismatch { plan_f, cfg_f } => {
+                write!(
+                    f,
+                    "execution plan was built for f={plan_f} but the \
+                     configuration asks for f={cfg_f}"
+                )
             }
         }
     }
@@ -157,53 +199,66 @@ pub struct InstanceReport {
     pub defaulted: bool,
 }
 
-/// The NAB protocol engine.
+/// The NAB protocol engine (execution layer).
 ///
 /// Create one engine per deployment and call
 /// [`NabEngine::run_instance`] repeatedly; dispute state carries across
-/// instances exactly as the paper's `G_k` evolution prescribes.
+/// instances exactly as the paper's `G_k` evolution prescribes. The
+/// one-time planning artifact is shared: engines built with
+/// [`NabEngine::from_plan`] borrow the same [`ExecutionPlan`].
 #[derive(Debug, Clone)]
 pub struct NabEngine {
-    g0: DiGraph,
+    plan: Arc<ExecutionPlan>,
     cfg: NabConfig,
     disputes: DisputeState,
-    router: PathRouter,
     instance: usize,
     broadcast: BroadcastKind,
 }
 
 impl NabEngine {
     /// Validates the network against the paper's conditions (`n ≥ 3f+1`,
-    /// connectivity `≥ 2f+1`, `U_1 ≥ 2`) and builds the engine.
+    /// connectivity `≥ 2f+1`, `U_1 ≥ 2`) and builds the engine with a
+    /// private plan. Equivalent to [`ExecutionPlan::build`] +
+    /// [`NabEngine::from_plan`].
     ///
     /// # Errors
     ///
     /// Returns the violated condition.
     pub fn new(g: DiGraph, cfg: NabConfig) -> Result<Self, NabError> {
-        let n = g.active_count();
-        if n < 3 * cfg.f + 1 {
-            return Err(NabError::TooManyFaults { n, f: cfg.f });
-        }
-        if !supports_byzantine_broadcast(&g, cfg.f) {
-            return Err(NabError::InsufficientConnectivity);
-        }
-        let router = PathRouter::build(&g, cfg.f).ok_or(NabError::InsufficientConnectivity)?;
-        if rho_k(&g, cfg.f, &BTreeSet::new()).is_none() {
-            return Err(NabError::NoEqualityParameter);
+        let plan = Arc::new(ExecutionPlan::build(g, cfg.f)?);
+        Self::from_plan(plan, cfg)
+    }
+
+    /// Builds an engine executing against a shared, already-realized
+    /// plan. The plan's fault bound must match the configuration's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NabError::PlanMismatch`] when `cfg.f != plan.f()`.
+    pub fn from_plan(plan: Arc<ExecutionPlan>, cfg: NabConfig) -> Result<Self, NabError> {
+        if plan.f() != cfg.f {
+            return Err(NabError::PlanMismatch {
+                plan_f: plan.f(),
+                cfg_f: cfg.f,
+            });
         }
         Ok(NabEngine {
-            g0: g,
+            plan,
             cfg,
             disputes: DisputeState::new(),
-            router,
             instance: 0,
             broadcast: BroadcastKind::default(),
         })
     }
 
+    /// The shared planning artifact this engine executes against.
+    pub fn plan(&self) -> &Arc<ExecutionPlan> {
+        &self.plan
+    }
+
     /// The original network.
     pub fn original_graph(&self) -> &DiGraph {
-        &self.g0
+        self.plan.graph()
     }
 
     /// The configuration.
@@ -225,7 +280,7 @@ impl NabEngine {
 
     /// The current `G_k` after all disputes so far.
     pub fn current_graph(&self) -> DiGraph {
-        self.disputes.current_graph(&self.g0)
+        self.disputes.current_graph(self.plan.graph())
     }
 
     /// Accumulated dispute state.
@@ -277,7 +332,21 @@ impl NabEngine {
             });
         }
         self.instance += 1;
-        let gk = self.current_graph();
+        let plan = Arc::clone(&self.plan);
+        // While no disputes have shrunk the graph, `G_k` *is* `G_1` and
+        // the plan's precomputed γ/ρ/arborescences apply verbatim; only
+        // after dispute control bites do the per-`G_k` quantities get
+        // recomputed. Either way the values are identical to deriving
+        // them from scratch (the plan is a deterministic function of the
+        // same inputs), which keeps cached and uncached runs bit-equal.
+        let undisputed = self.disputes.pairs.is_empty() && self.disputes.removed.is_empty();
+        let gk_shrunk;
+        let gk: &DiGraph = if undisputed {
+            plan.graph()
+        } else {
+            gk_shrunk = self.disputes.current_graph(plan.graph());
+            &gk_shrunk
+        };
 
         // Special case 1: the source is known faulty — agree on default.
         if !gk.is_active(SOURCE) {
@@ -299,13 +368,26 @@ impl NabEngine {
             });
         }
 
-        let gamma = gamma_k(&gk, SOURCE);
-        let trees =
-            pack_arborescences(&gk, SOURCE, gamma).expect("Edmonds packing exists at rate γ_k");
+        let gamma;
+        let trees_shrunk;
+        let trees: &[Arborescence] = if undisputed {
+            gamma = plan.gamma0();
+            plan.trees0()
+        } else {
+            gamma = gamma_k(gk, SOURCE);
+            trees_shrunk = pack_arborescences(gk, SOURCE, gamma).ok_or_else(|| {
+                NabError::ArborescencePacking {
+                    n: gk.active_count(),
+                    edges: gk.edge_count(),
+                    gamma,
+                }
+            })?;
+            &trees_shrunk
+        };
 
         // Phase 1.
         let t0 = std::time::Instant::now();
-        let p1 = run_phase1(&gk, SOURCE, input, &trees, faulty, adv);
+        let p1 = run_phase1(gk, SOURCE, input, trees, faulty, adv);
         let mut times = PhaseTimes {
             phase1: p1.duration,
             ..PhaseTimes::default()
@@ -334,14 +416,21 @@ impl NabEngine {
 
         // Phase 2: equality check + flag broadcast.
         let t0 = std::time::Instant::now();
-        let rho =
-            rho_k(&gk, self.cfg.f, &self.disputes.pairs).ok_or(NabError::NoEqualityParameter)?;
-        let scheme = CodingScheme::random(
-            &gk,
-            rho as usize,
-            self.cfg.seed.wrapping_add(self.instance as u64),
-        );
-        let eq = run_equality_phase(&gk, &p1.values, &scheme, faulty, adv);
+        let rho = if undisputed {
+            plan.rho0()
+        } else {
+            rho_k(gk, self.cfg.f, &self.disputes.pairs).ok_or(NabError::NoEqualityParameter)?
+        };
+        let scheme = if undisputed {
+            plan.instance_scheme(self.cfg.seed, self.instance as u64)
+        } else {
+            CodingScheme::random(
+                gk,
+                rho as usize,
+                self.cfg.seed.wrapping_add(self.instance as u64),
+            )
+        };
+        let eq = run_equality_phase(gk, &p1.values, &scheme, faulty, adv);
         times.equality = eq.duration;
         wall.equality = t0.elapsed().as_nanos() as u64;
 
@@ -349,8 +438,8 @@ impl NabEngine {
         let participants: Vec<NodeId> = gk.nodes().collect();
         let f_res = self.residual_f();
         let flags = run_flag_broadcast(
-            &self.g0,
-            &self.router,
+            plan.graph(),
+            plan.router(),
             &participants,
             f_res,
             &eq.flags,
@@ -387,10 +476,10 @@ impl NabEngine {
         // Phase 3: dispute control.
         let t0 = std::time::Instant::now();
         let truthful = honest_claims(
-            &gk,
+            gk,
             SOURCE,
             input,
-            &trees,
+            trees,
             &scheme,
             &p1,
             &eq,
@@ -408,14 +497,14 @@ impl NabEngine {
 
         // Broadcast every node's claims with the classic BB protocol and
         // charge the (large) communication time.
-        let mut net: NetSim<Routed<NodeClaims>> = NetSim::new(self.g0.clone());
+        let mut net: NetSim<Routed<NodeClaims>> = NetSim::new(plan.graph().clone());
         net.set_record_transcript(false);
         let mut agreed_claims: BTreeMap<NodeId, NodeClaims> = BTreeMap::new();
         for &b in &participants {
             let dec = {
                 let mut chan = RoutedChannel {
                     net: &mut net,
-                    router: &self.router,
+                    router: plan.router(),
                     faulty,
                 };
                 broadcast_value(
@@ -436,10 +525,10 @@ impl NabEngine {
 
         // DC2 + DC3 on the agreed claims.
         let new_pairs = dc2_disputes(&agreed_claims);
-        let exposed = dc3_exposed(&gk, SOURCE, &trees, &scheme, &agreed_claims);
+        let exposed = dc3_exposed(gk, SOURCE, trees, &scheme, &agreed_claims);
         let newly_removed = self
             .disputes
-            .integrate(&self.g0, self.cfg.f, &new_pairs, &exposed);
+            .integrate(plan.graph(), self.cfg.f, &new_pairs, &exposed);
 
         // Instance output: the source's broadcast input claim (agreement is
         // inherited from the claim broadcast; validity because a fault-free
@@ -606,6 +695,74 @@ mod tests {
             NabEngine::new(gen::ring(5, 1), cfg),
             Err(NabError::InsufficientConnectivity)
         ));
+    }
+
+    #[test]
+    fn engines_sharing_a_plan_match_private_plan_engines() {
+        // The plan/execute split must be invisible to results: an engine
+        // borrowing a shared plan behaves bit-identically to one that
+        // built its own.
+        let g = gen::complete(4, 2);
+        let cfg = NabConfig {
+            f: 1,
+            symbols: 12,
+            seed: 42,
+        };
+        let plan = Arc::new(ExecutionPlan::build(g.clone(), 1).unwrap());
+        let mut shared1 = NabEngine::from_plan(Arc::clone(&plan), cfg).unwrap();
+        let mut shared2 = NabEngine::from_plan(Arc::clone(&plan), cfg).unwrap();
+        let mut private = NabEngine::new(g, cfg).unwrap();
+        let x = input(12);
+        let faulty = BTreeSet::from([2]);
+        for _ in 0..3 {
+            let a = shared1
+                .run_instance(&x, &faulty, &mut TruthfulCorruptor)
+                .unwrap();
+            let b = shared2
+                .run_instance(&x, &faulty, &mut TruthfulCorruptor)
+                .unwrap();
+            let c = private
+                .run_instance(&x, &faulty, &mut TruthfulCorruptor)
+                .unwrap();
+            assert_eq!(a.outputs, b.outputs);
+            assert_eq!(a.outputs, c.outputs);
+            assert_eq!((a.gamma_k, a.rho_k), (c.gamma_k, c.rho_k));
+            assert_eq!(a.times, c.times);
+            assert_eq!(a.new_pairs, c.new_pairs);
+            assert_eq!(a.newly_removed, c.newly_removed);
+        }
+        assert_eq!(shared1.disputes().pairs, private.disputes().pairs);
+        assert_eq!(shared1.disputes().removed, private.disputes().removed);
+    }
+
+    #[test]
+    fn from_plan_rejects_fault_bound_mismatch() {
+        let plan = Arc::new(ExecutionPlan::build(gen::complete(7, 2), 2).unwrap());
+        let cfg = NabConfig {
+            f: 1,
+            symbols: 4,
+            seed: 0,
+        };
+        assert!(matches!(
+            NabEngine::from_plan(plan, cfg),
+            Err(NabError::PlanMismatch {
+                plan_f: 2,
+                cfg_f: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn packing_error_carries_topology_context() {
+        let e = NabError::ArborescencePacking {
+            n: 5,
+            edges: 9,
+            gamma: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("γ=3"), "{msg}");
+        assert!(msg.contains("5-node"), "{msg}");
+        assert!(msg.contains("9-edge"), "{msg}");
     }
 
     #[test]

@@ -22,8 +22,11 @@
 //! throughput lower bound `γ*ρ*/(γ*+ρ*)`, the capacity upper bound
 //! `min(γ*, 2ρ*)` of Theorem 2, and the reachable-graph family Γ) and
 //! [`theory`] (the `C_H`/`M_H` matrix construction of Theorem 1's proof).
-//! The executable protocol is orchestrated by [`engine::NabEngine`], with
-//! Byzantine strategies in [`adversary`].
+//! The executable protocol is split into a planning layer
+//! ([`plan::ExecutionPlan`], the one-time network setup, shareable across
+//! deployments through the content-addressed [`plan::PlanCache`]) and the
+//! execution layer orchestrated by [`engine::NabEngine`], with Byzantine
+//! strategies in [`adversary`].
 //!
 //! # Quickstart
 //!
@@ -53,10 +56,12 @@ pub mod equality;
 pub mod phase1;
 pub mod phase2;
 pub mod pipeline;
+pub mod plan;
 pub mod stats;
 pub mod theory;
 pub mod value;
 
 pub use engine::{InstanceReport, NabConfig, NabEngine, NabError};
 pub use phase2::BroadcastKind;
+pub use plan::{ExecutionPlan, PlanCache, PlanCacheStats, PlanFetch, PlanKey};
 pub use value::Value;

@@ -19,9 +19,13 @@
 //!   `U_H` in one `O(V³)` pass instead of `V` max-flows),
 //! - [`gomoryhu`] — Gomory–Hu trees for the full all-pairs min-cut
 //!   structure (which pair is binding, and by how much),
-//! - [`gen`] — graph generators, including the paper's worked examples.
+//! - [`gen`] — graph generators, including the paper's worked examples,
+//! - [`canon`] — stable graph keys: a relabeling-invariant canonical
+//!   digest plus a labeled digest, the content-addressing layer under the
+//!   engine's plan cache.
 
 pub mod arborescence;
+pub mod canon;
 pub mod connectivity;
 pub mod flow;
 pub mod gen;

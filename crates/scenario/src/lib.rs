@@ -58,5 +58,5 @@ pub use faults::FaultSchedule;
 pub use parse::{load, parse_str, ParseError};
 pub use report::{Aggregate, JobMetrics, JobOutcome, SweepReport};
 pub use spec::ScenarioSpec;
-pub use sweep::{expand_jobs, run_sweep, Job};
+pub use sweep::{expand_jobs, run_sweep, run_sweep_with_cache, Job};
 pub use topology::{Tok, TopologyTemplate};

@@ -118,27 +118,17 @@ pub fn parse_str(text: &str) -> Result<ScenarioSpec, ParseError> {
             "symbols" => spec.symbols = parse_list(lineno, key, value)?,
             "seeds" => spec.seeds = parse_num(lineno, key, value)?,
             "seed0" => spec.seed0 = parse_num(lineno, key, value)?,
-            "bounds" => {
-                spec.bounds = match value {
-                    "true" | "on" | "yes" => true,
-                    "false" | "off" | "no" => false,
-                    other => {
-                        return Err(err(
-                            lineno,
-                            format!("key \"bounds\": bad boolean {other:?}"),
-                        ))
-                    }
-                }
-            }
+            "bounds" => spec.bounds = parse_bool(lineno, key, value)?,
             "bounds_budget" => spec.bounds_budget = parse_num(lineno, key, value)?,
             "threads" => spec.threads = parse_num(lineno, key, value)?,
+            "plan_cache" => spec.plan_cache = parse_bool(lineno, key, value)?,
             other => {
                 return Err(err(
                     lineno,
                     format!(
                         "unknown key {other:?} (known: name, topology, broadcast, adversary, \
                          faults, q, streams, n, cap, f, symbols, seeds, seed0, bounds, \
-                         bounds_budget, threads)"
+                         bounds_budget, threads, plan_cache)"
                     ),
                 ))
             }
@@ -158,6 +148,14 @@ pub fn load(path: &str) -> Result<ScenarioSpec, ParseError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| err(0, format!("cannot read scenario {path:?}: {e}")))?;
     parse_str(&text)
+}
+
+fn parse_bool(line: usize, key: &str, value: &str) -> Result<bool, ParseError> {
+    match value {
+        "true" | "on" | "yes" => Ok(true),
+        "false" | "off" | "no" => Ok(false),
+        other => Err(err(line, format!("key {key:?}: bad boolean {other:?}"))),
+    }
 }
 
 fn parse_num<T: std::str::FromStr>(line: usize, key: &str, value: &str) -> Result<T, ParseError> {
@@ -197,7 +195,8 @@ pub fn to_scenario_string(spec: &ScenarioSpec) -> String {
     format!(
         "name = {}\ntopology = {}\nbroadcast = {}\nadversary = {}\nfaults = {}\n\
          q = {}\nstreams = {}\nn = {}\ncap = {}\nf = {}\nsymbols = {}\n\
-         seeds = {}\nseed0 = {}\nbounds = {}\nbounds_budget = {}\nthreads = {}\n",
+         seeds = {}\nseed0 = {}\nbounds = {}\nbounds_budget = {}\nthreads = {}\n\
+         plan_cache = {}\n",
         spec.name,
         spec.topology.spec_string(),
         broadcast,
@@ -214,6 +213,7 @@ pub fn to_scenario_string(spec: &ScenarioSpec) -> String {
         spec.bounds,
         spec.bounds_budget,
         spec.threads,
+        spec.plan_cache,
     )
 }
 
@@ -296,6 +296,16 @@ threads = 2
         assert!(e.message.contains("bad number"));
         let e = parse_str("name = x\nq 9\n").unwrap_err();
         assert!(e.message.contains("key = value"));
+    }
+
+    #[test]
+    fn plan_cache_key_parses_and_defaults_on() {
+        let s = parse_str("name = x\n").unwrap();
+        assert!(s.plan_cache, "plan cache is on by default");
+        let s = parse_str("name = x\nplan_cache = off\n").unwrap();
+        assert!(!s.plan_cache);
+        let e = parse_str("name = x\nplan_cache = maybe\n").unwrap_err();
+        assert!(e.message.contains("bad boolean"), "{e}");
     }
 
     #[test]

@@ -92,6 +92,15 @@ pub struct JobMetrics {
     /// Total measured wall-clock nanoseconds for the job's measurement
     /// loop (includes engine setup and input generation).
     pub wall_ns: u64,
+    /// Plan-cache hits across the job's candidate measurements (excluded
+    /// from canonical JSON: under multiple worker threads, *which* job
+    /// misses first is scheduling-dependent).
+    pub plan_hits: u64,
+    /// Plan builds (cache misses, or direct builds when the cache is
+    /// disabled) across the job's candidate measurements.
+    pub plan_misses: u64,
+    /// Wall nanoseconds this job spent building network plans.
+    pub plan_build_ns: u64,
 }
 
 /// One job's parameters and outcome.
@@ -159,6 +168,13 @@ pub struct Aggregate {
     /// Summed measured wall-clock nanoseconds over all measured jobs
     /// (excluded from canonical JSON).
     pub wall_ns: u64,
+    /// Plan-cache hits summed over measured jobs (timed JSON only).
+    pub plan_hits: u64,
+    /// Plan builds summed over measured jobs (timed JSON only).
+    pub plan_misses: u64,
+    /// Plan-build wall nanoseconds summed over measured jobs (timed JSON
+    /// only).
+    pub plan_build_ns: u64,
 }
 
 impl Aggregate {
@@ -181,6 +197,9 @@ impl Aggregate {
             all_correct: true,
             exposed_nodes: 0,
             wall_ns: 0,
+            plan_hits: 0,
+            plan_misses: 0,
+            plan_build_ns: 0,
         };
         let mut throughput_sum = 0.0;
         for outcome in outcomes {
@@ -203,6 +222,9 @@ impl Aggregate {
                     }
                     agg.exposed_nodes += m.exposed_history.len();
                     agg.wall_ns += m.wall_ns;
+                    agg.plan_hits += m.plan_hits;
+                    agg.plan_misses += m.plan_misses;
+                    agg.plan_build_ns += m.plan_build_ns;
                 }
                 Err(_) => agg.rejected_jobs += 1,
             }
@@ -410,6 +432,9 @@ fn metrics_json(m: &JobMetrics, with_timings: bool) -> Json {
         pairs.push(("wall_flags_ns", Json::U64(m.wall.flags)));
         pairs.push(("wall_dispute_ns", Json::U64(m.wall.dispute)));
         pairs.push(("wall_total_ns", Json::U64(m.wall_ns)));
+        pairs.push(("plan_cache_hits", Json::U64(m.plan_hits)));
+        pairs.push(("plan_cache_misses", Json::U64(m.plan_misses)));
+        pairs.push(("plan_build_ns", Json::U64(m.plan_build_ns)));
     }
     Json::obj(pairs)
 }
@@ -439,6 +464,9 @@ fn aggregate_json(a: &Aggregate, with_timings: bool) -> Json {
     ];
     if with_timings {
         pairs.push(("wall_total_ns", Json::U64(a.wall_ns)));
+        pairs.push(("plan_cache_hits", Json::U64(a.plan_hits)));
+        pairs.push(("plan_cache_misses", Json::U64(a.plan_misses)));
+        pairs.push(("plan_build_ns", Json::U64(a.plan_build_ns)));
     }
     Json::obj(pairs)
 }
@@ -478,6 +506,9 @@ mod tests {
                 dispute: 0,
             },
             wall_ns: 200,
+            plan_hits: 1,
+            plan_misses: 1,
+            plan_build_ns: 40,
         }
     }
 
@@ -577,10 +608,14 @@ mod tests {
             jobs: vec![outcome(0, Ok(metrics()))],
             aggregate: Aggregate::from_outcomes(&[outcome(0, Ok(metrics()))]),
         };
-        // Canonical JSON stays timing-free (the determinism guarantee).
+        // Canonical JSON stays timing- and cache-stat-free (the
+        // determinism guarantee: cache state and scheduling must not
+        // perturb it).
         let canonical = report.to_json();
         assert!(!canonical.contains("wall_"), "{canonical}");
-        // Timed JSON carries the full per-phase breakdown plus totals.
+        assert!(!canonical.contains("plan_"), "{canonical}");
+        // Timed JSON carries the full per-phase breakdown plus totals
+        // and the plan-cache counters.
         let timed = report.to_json_timed();
         for key in [
             "\"wall_phase1_ns\":100",
@@ -588,11 +623,14 @@ mod tests {
             "\"wall_flags_ns\":25",
             "\"wall_dispute_ns\":0",
             "\"wall_total_ns\":200",
+            "\"plan_cache_hits\":1",
+            "\"plan_cache_misses\":1",
+            "\"plan_build_ns\":40",
         ] {
             assert!(timed.contains(key), "missing {key} in {timed}");
         }
-        // The aggregate total is the sum over measured jobs.
-        assert!(timed.ends_with("\"wall_total_ns\":200}}"), "{timed}");
+        // The aggregate totals are the sums over measured jobs.
+        assert!(timed.ends_with("\"plan_build_ns\":40}}"), "{timed}");
         assert!(report
             .to_json_pretty_timed()
             .contains("\"wall_total_ns\": 200"));

@@ -52,6 +52,12 @@ pub struct ScenarioSpec {
     /// Default worker threads (`0` = one per available CPU); the CLI
     /// `--threads` flag overrides this.
     pub threads: usize,
+    /// Whether sweep jobs share network plans through the
+    /// content-addressed `PlanCache` (on by default; results are
+    /// byte-identical either way — the toggle exists for cold-vs-cached
+    /// benchmarking and for the determinism tests that pin the
+    /// equivalence).
+    pub plan_cache: bool,
 }
 
 impl Default for ScenarioSpec {
@@ -76,6 +82,7 @@ impl Default for ScenarioSpec {
             bounds: false,
             bounds_budget: 1 << 14,
             threads: 0,
+            plan_cache: true,
         }
     }
 }
@@ -164,6 +171,12 @@ impl ScenarioSpec {
     /// Enables or disables per-job bound computation.
     pub fn with_bounds(mut self, on: bool) -> Self {
         self.bounds = on;
+        self
+    }
+
+    /// Enables or disables plan sharing through the `PlanCache`.
+    pub fn with_plan_cache(mut self, on: bool) -> Self {
+        self.plan_cache = on;
         self
     }
 

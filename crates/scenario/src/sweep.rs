@@ -13,12 +13,12 @@
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use nab::adversary::NabAdversary;
-use nab::bounds::bounds_report;
 use nab::dispute::DisputeState;
-use nab::engine::{instance_correct, NabConfig, NabEngine, PhaseWallNanos, SOURCE};
+use nab::engine::{instance_correct, NabConfig, NabEngine, PhaseWallNanos};
+use nab::plan::{ExecutionPlan, PlanCache};
 use nab::value::{Value, SYMBOL_BITS};
 use nab_netgraph::{DiGraph, NodeId};
 use rand::rngs::StdRng;
@@ -86,7 +86,10 @@ pub fn expand_jobs(spec: &ScenarioSpec) -> Vec<Job> {
 /// the results.
 ///
 /// `threads = 0` uses one worker per available CPU. Results are
-/// independent of the worker count.
+/// independent of the worker count *and* of the plan-cache state: when
+/// `spec.plan_cache` is on (the default) the workers share a
+/// content-addressed [`PlanCache`] of network plans, which changes wall
+/// clock but never canonical output.
 ///
 /// # Errors
 ///
@@ -94,7 +97,30 @@ pub fn expand_jobs(spec: &ScenarioSpec) -> Vec<Job> {
 /// (impossible grid points, rejected networks) are recorded in the
 /// report instead of aborting the sweep.
 pub fn run_sweep(spec: &ScenarioSpec, threads: usize) -> Result<SweepReport, String> {
+    run_sweep_with_cache(spec, threads, None)
+}
+
+/// [`run_sweep`] with an externally owned plan cache, so callers (the
+/// `perf` benchmark, long-lived services sweeping many scenarios over
+/// the same topology family) can keep plans warm across sweeps. Passing
+/// `None` uses a sweep-private cache when `spec.plan_cache` is on, and
+/// no cache at all when it is off.
+///
+/// # Errors
+///
+/// Returns the scenario validation failure, if any.
+pub fn run_sweep_with_cache(
+    spec: &ScenarioSpec,
+    threads: usize,
+    external_cache: Option<&PlanCache>,
+) -> Result<SweepReport, String> {
     spec.validate()?;
+    let private_cache = PlanCache::new();
+    let cache: Option<&PlanCache> = match external_cache {
+        Some(c) => Some(c),
+        None if spec.plan_cache => Some(&private_cache),
+        None => None,
+    };
     let jobs = expand_jobs(spec);
     let threads = if threads == 0 {
         std::thread::available_parallelism()
@@ -115,7 +141,7 @@ pub fn run_sweep(spec: &ScenarioSpec, threads: usize) -> Result<SweepReport, Str
                 if i >= jobs.len() {
                     break;
                 }
-                let outcome = run_job(spec, &jobs[i]);
+                let outcome = run_job(spec, &jobs[i], cache);
                 *slots[i].lock().expect("job slot poisoned") = Some(outcome);
             });
         }
@@ -142,7 +168,9 @@ pub fn run_sweep(spec: &ScenarioSpec, threads: usize) -> Result<SweepReport, Str
 
 /// Runs one job: materializes its graph, resolves the fault placement
 /// (searching candidates for worst-case schedules), and measures.
-pub fn run_job(spec: &ScenarioSpec, job: &Job) -> JobOutcome {
+/// `cache` is the sweep-shared plan cache (`None` = plan per engine,
+/// the cold path).
+pub fn run_job(spec: &ScenarioSpec, job: &Job, cache: Option<&PlanCache>) -> JobOutcome {
     let mut outcome = JobOutcome {
         index: job.index,
         n: job.n,
@@ -196,9 +224,16 @@ pub fn run_job(spec: &ScenarioSpec, job: &Job) -> JobOutcome {
     // in the outcome even when other candidates succeed.
     let mut worst: Option<(BTreeSet<NodeId>, JobMetrics)> = None;
     let mut first_err: Option<(Vec<NodeId>, String)> = None;
+    // Plan-cache accounting is summed over *all* candidate measurements
+    // (not just the selected worst one) so the job's timed report shows
+    // everything the job actually paid for.
+    let (mut plan_hits, mut plan_misses, mut plan_build_ns) = (0u64, 0u64, 0u64);
     for faulty in &candidates {
-        match measure(spec, job, &graph, faulty) {
+        match measure(spec, job, &graph, faulty, cache) {
             Ok(metrics) => {
+                plan_hits += metrics.plan_hits;
+                plan_misses += metrics.plan_misses;
+                plan_build_ns += metrics.plan_build_ns;
                 let replace = match &worst {
                     None => true,
                     Some((_, best)) => metrics.throughput < best.throughput,
@@ -220,7 +255,10 @@ pub fn run_job(spec: &ScenarioSpec, job: &Job) -> JobOutcome {
         .as_ref()
         .map(|(faulty, e)| format!("placement {faulty:?}: {e}"));
     match worst {
-        Some((faulty, metrics)) => {
+        Some((faulty, mut metrics)) => {
+            metrics.plan_hits = plan_hits;
+            metrics.plan_misses = plan_misses;
+            metrics.plan_build_ns = plan_build_ns;
             outcome.faulty = faulty.into_iter().collect();
             outcome.result = Ok(metrics);
         }
@@ -235,12 +273,17 @@ pub fn run_job(spec: &ScenarioSpec, job: &Job) -> JobOutcome {
 }
 
 /// Measures one (graph, faulty-set) pair: `spec.streams` interleaved
-/// engines, `spec.q` instances each.
+/// engines, `spec.q` instances each. With a cache, the network plan is
+/// fetched once and every stream's engine borrows it; without one, each
+/// stream realizes its own plan (the pre-split behavior, kept as the
+/// cold baseline). Either way the measured protocol behavior is
+/// bit-identical — plans are deterministic functions of `(G, f)`.
 fn measure(
     spec: &ScenarioSpec,
     job: &Job,
     graph: &DiGraph,
     faulty: &BTreeSet<NodeId>,
+    cache: Option<&PlanCache>,
 ) -> Result<JobMetrics, String> {
     spec.adversary.validate_for(graph.node_count(), faulty)?;
     let job_start = std::time::Instant::now();
@@ -249,12 +292,38 @@ fn measure(
         symbols: job.symbols,
         seed: job.seed,
     };
+    let (mut plan_hits, mut plan_misses, mut plan_build_ns) = (0u64, 0u64, 0u64);
+    let shared_plan: Option<Arc<ExecutionPlan>> = match cache {
+        Some(c) => {
+            let fetch = c
+                .fetch(graph, job.f)
+                .map_err(|e| format!("network rejected: {e}"))?;
+            if fetch.hit {
+                plan_hits += 1;
+            } else {
+                plan_misses += 1;
+                plan_build_ns += fetch.build_ns;
+            }
+            Some(fetch.plan)
+        }
+        None => None,
+    };
     let mut engines = Vec::with_capacity(spec.streams);
     let mut advs: Vec<Box<dyn NabAdversary>> = Vec::with_capacity(spec.streams);
     let mut input_rngs = Vec::with_capacity(spec.streams);
     for s in 0..spec.streams as u64 {
+        let plan = match &shared_plan {
+            Some(p) => Arc::clone(p),
+            None => {
+                let plan = ExecutionPlan::build(graph.clone(), job.f)
+                    .map_err(|e| format!("network rejected: {e}"))?;
+                plan_misses += 1;
+                plan_build_ns += plan.build_wall_ns();
+                Arc::new(plan)
+            }
+        };
         let mut engine =
-            NabEngine::new(graph.clone(), cfg).map_err(|e| format!("network rejected: {e}"))?;
+            NabEngine::from_plan(plan, cfg).map_err(|e| format!("network rejected: {e}"))?;
         engine.set_broadcast_kind(spec.broadcast);
         engines.push(engine);
         advs.push(spec.adversary.build(mix(job.seed, 0x0ADu64 ^ s)));
@@ -290,6 +359,9 @@ fn measure(
         bounds: None,
         wall: PhaseWallNanos::default(),
         wall_ns: 0,
+        plan_hits,
+        plan_misses,
+        plan_build_ns,
     };
     // Per-stream instance trace for the steady-state tail:
     // (time, useful bits, disputed). A defaulted instance (source already
@@ -381,8 +453,13 @@ fn measure(
     };
 
     if spec.bounds {
-        metrics.bounds =
-            bounds_report(graph, SOURCE, job.f, spec.bounds_budget).map(|r| JobBounds {
+        // The γ*/ρ* enumeration is cached in the plan: worst-case
+        // candidate searches and interleaved streams on the same network
+        // pay for it once (the computed values are identical either way).
+        metrics.bounds = engines[0]
+            .plan()
+            .bounds_report(spec.bounds_budget)
+            .map(|r| JobBounds {
                 eq6_lower: r.tnab_lower,
                 thm2_upper: r.capacity_upper,
                 fraction_of_lower: if r.tnab_lower > 0.0 {
@@ -513,7 +590,7 @@ mod tests {
                     seed: jobs[0].seed,
                 })
                 .unwrap();
-            let m = measure(&spec, &jobs[0], &g, &cand).unwrap();
+            let m = measure(&spec, &jobs[0], &g, &cand, None).unwrap();
             assert!(chosen <= m.throughput + 1e-12);
         }
     }
@@ -611,6 +688,48 @@ mod tests {
         let a = run_sweep(&spec, 1).unwrap();
         let b = run_sweep(&spec, 4).unwrap();
         assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn plan_cache_state_does_not_change_results() {
+        let spec = small_spec()
+            .with_adversary(AdversarySpec::Corruptor)
+            .with_faults(FaultSchedule::Rotating { count: 1 })
+            .with_seeds(3);
+        let cached = run_sweep(&spec, 2).unwrap();
+        let cold = run_sweep(&spec.clone().with_plan_cache(false), 2).unwrap();
+        assert_eq!(cached.to_json(), cold.to_json());
+        // An externally warmed cache changes nothing either.
+        let cache = nab::plan::PlanCache::new();
+        let warm1 = run_sweep_with_cache(&spec, 2, Some(&cache)).unwrap();
+        let warm2 = run_sweep_with_cache(&spec, 2, Some(&cache)).unwrap();
+        assert_eq!(warm1.to_json(), cached.to_json());
+        assert_eq!(warm2.to_json(), cached.to_json());
+        // The second pass over a warmed cache is all hits.
+        let w2 = &warm2.aggregate;
+        assert_eq!(w2.plan_misses, 0, "warm cache rebuilds nothing");
+        assert!(w2.plan_hits > 0);
+        assert_eq!(w2.plan_build_ns, 0);
+    }
+
+    #[test]
+    fn plan_stats_account_for_sharing() {
+        // 2 n-values × 2 caps × 3 seeds on a deterministic topology:
+        // 4 distinct networks, 12 jobs → 4 misses, 8 hits.
+        let spec = small_spec().with_seeds(3);
+        let report = run_sweep(&spec, 1).unwrap();
+        let a = &report.aggregate;
+        assert_eq!(a.plan_misses, 4);
+        assert_eq!(a.plan_hits, 8);
+        assert!(a.plan_build_ns > 0);
+        // With the cache off, every stream of every job plans privately.
+        let cold = run_sweep(&spec.with_plan_cache(false), 1).unwrap();
+        assert_eq!(cold.aggregate.plan_misses, 12);
+        assert_eq!(cold.aggregate.plan_hits, 0);
+        // The stats live in timed JSON only; canonical JSON is identical
+        // despite the differing counters.
+        assert_eq!(report.to_json(), cold.to_json());
+        assert!(report.to_json_timed().contains("\"plan_cache_hits\":8"));
     }
 
     #[test]

@@ -82,6 +82,43 @@ proptest! {
         prop_assert_eq!(single.to_json_pretty(), parallel.to_json_pretty());
     }
 
+    /// The plan cache is a pure wall-clock optimization: canonical
+    /// `SweepReport` JSON is byte-identical with the cache enabled vs.
+    /// disabled, at 1 and at 4 worker threads, and against an externally
+    /// pre-warmed cache.
+    #[test]
+    fn sweep_json_is_plan_cache_invariant(
+        topo in 0usize..4,
+        adv in 0usize..6,
+        faults in 0usize..4,
+        q in 1usize..4,
+        symbols in 4usize..17,
+        seeds in 1u64..3,
+        seed0 in any::<u64>(),
+        streams in 1usize..3,
+    ) {
+        let text = scenario_text(topo, adv, faults, q, symbols, seeds, seed0, streams);
+        let mut spec = parse_str(&text).unwrap();
+        spec.plan_cache = true;
+        let cached_single = run_sweep(&spec, 1).unwrap();
+        let cached_parallel = run_sweep(&spec, 4).unwrap();
+        spec.plan_cache = false;
+        let cold_single = run_sweep(&spec, 1).unwrap();
+        let cold_parallel = run_sweep(&spec, 4).unwrap();
+
+        let reference = cached_single.to_json();
+        prop_assert_eq!(&reference, &cold_single.to_json(), "cache on vs off");
+        prop_assert_eq!(&reference, &cached_parallel.to_json(), "cached, 1 vs 4 threads");
+        prop_assert_eq!(&reference, &cold_parallel.to_json(), "cold, 1 vs 4 threads");
+
+        // A cache warmed by a previous sweep must not perturb the next.
+        spec.plan_cache = true;
+        let cache = nab::plan::PlanCache::new();
+        let _ = nab_scenario::run_sweep_with_cache(&spec, 2, Some(&cache)).unwrap();
+        let rewarmed = nab_scenario::run_sweep_with_cache(&spec, 2, Some(&cache)).unwrap();
+        prop_assert_eq!(&reference, &rewarmed.to_json(), "pre-warmed external cache");
+    }
+
     /// Changing the base seed changes per-job seeds (no accidental seed
     /// collapse), while the grid shape stays fixed.
     #[test]

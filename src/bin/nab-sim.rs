@@ -17,12 +17,21 @@
 //!   ```text
 //!   nab-sim --scenario scenarios/fig1a.scenario --threads 4 --json -
 //!   ```
+//!
+//! - **Validate**: parse a `.scenario` file and *plan* every grid point
+//!   (topology realization, γ/ρ, arborescence packing, routing tables)
+//!   without executing a single instance.
+//!
+//!   ```text
+//!   nab-sim --validate scenarios/scale-grid.scenario
+//!   ```
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
 use nab_repro::nab::bounds::bounds_report;
 use nab_repro::nab::engine::{run_many, NabConfig, NabEngine};
+use nab_repro::nab::plan::PlanCache;
 use nab_repro::nab::BroadcastKind;
 use nab_repro::netgraph::DiGraph;
 use nab_repro::scenario::topology::ResolveCtx;
@@ -34,6 +43,7 @@ const HELP: &str =
 USAGE:
     nab-sim [OPTIONS]                         single run
     nab-sim --scenario FILE [OPTIONS]         declarative sweep
+    nab-sim --validate FILE                   plan a scenario, don't run it
 
 Flags are mode-exclusive: scenario sweeps take their parameters from the
 .scenario file, so single-run flags error under --scenario (and vice versa).
@@ -43,10 +53,18 @@ SCENARIO MODE:
     --threads N         worker threads for the sweep (0 = one per CPU;
                         overrides the file's `threads` key)
     --json PATH         write the full sweep report as JSON (- = stdout)
-    --timings           include measured wall-clock wall_*_ns fields in the
-                        JSON report (requires --json; omitted by default so
-                        identical sweeps serialize byte-identically — see
-                        docs/perf.md)
+    --timings           include measured wall-clock wall_*_ns and plan-cache
+                        fields in the JSON report (requires --json; omitted
+                        by default so identical sweeps serialize
+                        byte-identically — see docs/perf.md)
+
+VALIDATE MODE:
+    --validate FILE     parse FILE and build every grid point's network
+                        plan (validation, γ/ρ, arborescence packing,
+                        routing tables) without executing instances.
+                        Exit codes: 0 = every grid point plans, 1 = the
+                        file cannot be read/parsed, 2 = some grid points
+                        fail planning (each failure is reported)
 
 SINGLE-RUN MODE:
     --topology SPEC     topology (default complete:4:2). Families:
@@ -73,6 +91,7 @@ GENERAL:
 
 struct Args {
     scenario: Option<String>,
+    validate: Option<String>,
     threads: Option<usize>,
     json: Option<String>,
     timings: bool,
@@ -90,6 +109,7 @@ struct Args {
 fn parse_args() -> Result<Option<Args>, String> {
     let mut args = Args {
         scenario: None,
+        validate: None,
         threads: None,
         json: None,
         timings: false,
@@ -147,6 +167,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         seen_flags.push(argv[i].clone());
         match argv[i].as_str() {
             "--scenario" => args.scenario = Some(take(&mut i)?),
+            "--validate" => args.validate = Some(take(&mut i)?),
             "--threads" => {
                 args.threads = Some(
                     take(&mut i)?
@@ -192,7 +213,16 @@ fn parse_args() -> Result<Option<Args>, String> {
         }
         i += 1;
     }
-    if args.scenario.is_some() {
+    if args.validate.is_some() {
+        if args.scenario.is_some() {
+            return Err("--validate and --scenario are mutually exclusive".into());
+        }
+        if let Some(&flag) = single_flags.first().or(scenario_flags.first()) {
+            return Err(format!(
+                "{flag} does not apply to --validate (validation only parses and plans)"
+            ));
+        }
+    } else if args.scenario.is_some() {
         if let Some(flag) = single_flags.first() {
             return Err(format!(
                 "{flag} applies to single-run mode only; with --scenario, set it in the \
@@ -222,6 +252,78 @@ fn build_topology(spec: &str, f: usize, seed: u64) -> Result<DiGraph, String> {
         cap: 0,
         f,
         seed,
+    })
+}
+
+/// Validate mode: parse the scenario and *plan* every grid point through
+/// the planning layer — topology realization, the paper's feasibility
+/// conditions, γ/ρ, arborescence packing, routing tables — without
+/// executing any broadcast instance. Duplicate networks across the grid
+/// plan once (the same `PlanCache` the sweep runner uses).
+///
+/// Exit codes: 0 = every grid point plans; 2 = some grid points fail
+/// (reported per job); parse/read failures surface as `Err` → exit 1.
+fn run_validate_mode(args: &Args) -> Result<ExitCode, String> {
+    let path = args.validate.as_deref().expect("validate mode");
+    let spec = scenario::load(path).map_err(|e| format!("{path}: {e}"))?;
+    let jobs = scenario::expand_jobs(&spec);
+    let cache = PlanCache::new();
+    let mut failed = 0usize;
+    for job in &jobs {
+        let ctx = ResolveCtx {
+            n: job.n,
+            cap: job.cap,
+            f: job.f,
+            seed: job.seed,
+        };
+        let planned = spec
+            .topology
+            .build(&ctx)
+            .map_err(|e| format!("topology rejected: {e}"))
+            .and_then(|g| {
+                cache
+                    .fetch(&g, job.f)
+                    .map_err(|e| format!("network rejected: {e}"))
+            });
+        match planned {
+            Ok(fetch) => {
+                let p = &fetch.plan;
+                println!(
+                    "job {:>3}: n={} cap={} f={} → plan ok: gamma={} rho={} trees={} \
+                     router-copies={}{}",
+                    job.index,
+                    job.n,
+                    job.cap,
+                    job.f,
+                    p.gamma0(),
+                    p.rho0(),
+                    p.trees0().len(),
+                    p.router().copies(),
+                    if fetch.hit { " (cached)" } else { "" },
+                );
+            }
+            Err(e) => {
+                failed += 1;
+                println!(
+                    "job {:>3}: n={} cap={} f={} → FAIL: {e}",
+                    job.index, job.n, job.cap, job.f
+                );
+            }
+        }
+    }
+    let stats = cache.stats();
+    println!(
+        "validated {:?}: {} grid points, {} plan ok, {} failed ({} unique plans built)",
+        spec.name,
+        jobs.len(),
+        jobs.len() - failed,
+        failed,
+        stats.misses,
+    );
+    Ok(if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
     })
 }
 
@@ -380,7 +482,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = if args.scenario.is_some() {
+    let result = if args.validate.is_some() {
+        run_validate_mode(&args)
+    } else if args.scenario.is_some() {
         run_scenario_mode(&args)
     } else {
         run_single_mode(&args)

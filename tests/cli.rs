@@ -317,6 +317,99 @@ fn timings_without_json_is_a_clear_error_not_a_silent_noop() {
 }
 
 #[test]
+fn validate_mode_plans_without_executing() {
+    let dir = std::env::temp_dir().join("nab-sim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("validate-ok.scenario");
+    std::fs::write(
+        &path,
+        "name = validate-ok\n\
+         topology = complete:$n:$cap\n\
+         q = 2\n\
+         n = 4,5\n\
+         cap = 2\n\
+         symbols = 8\n\
+         seeds = 2\n",
+    )
+    .unwrap();
+    let out = nab_sim(&["--validate", path.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    // Every grid point reports its planned quantities.
+    assert!(text.contains("plan ok"), "{text}");
+    assert!(text.contains("gamma="), "{text}");
+    assert!(text.contains("rho="), "{text}");
+    // 2 n-values × 2 seeds = 4 grid points but only 2 distinct networks:
+    // the plan cache dedupes, and the summary says so.
+    assert!(
+        text.contains("4 grid points, 4 plan ok, 0 failed"),
+        "{text}"
+    );
+    assert!(text.contains("(2 unique plans built)"), "{text}");
+    assert!(text.contains("(cached)"), "{text}");
+}
+
+#[test]
+fn validate_mode_reports_planning_failures_with_exit_2() {
+    let dir = std::env::temp_dir().join("nab-sim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("validate-bad.scenario");
+    // A ring is never 3-connected: every grid point must fail planning.
+    std::fs::write(
+        &path,
+        "name = validate-bad\n\
+         topology = ring:$n:$cap\n\
+         q = 1\n\
+         n = 5\n\
+         cap = 1\n\
+         symbols = 8\n",
+    )
+    .unwrap();
+    let out = nab_sim(&["--validate", path.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "planning failures must exit 2, stderr: {}",
+        stderr(&out)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("FAIL"), "{text}");
+    assert!(text.contains("connectivity"), "{text}");
+    assert!(text.contains("1 failed"), "{text}");
+}
+
+#[test]
+fn validate_mode_missing_file_is_exit_1() {
+    let out = nab_sim(&["--validate", "/nonexistent/x.scenario"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("cannot read scenario"));
+}
+
+#[test]
+fn validate_mode_rejects_other_mode_flags() {
+    let dir = std::env::temp_dir().join("nab-sim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("validate-flags.scenario");
+    std::fs::write(&path, "name = vf\nq = 1\nsymbols = 8\n").unwrap();
+    let p = path.to_str().unwrap();
+    for extra in [
+        ["--q", "2"].as_slice(),
+        ["--threads", "2"].as_slice(),
+        ["--scenario", p].as_slice(),
+    ] {
+        let mut argv = vec!["--validate", p];
+        argv.extend_from_slice(extra);
+        let out = nab_sim(&argv);
+        assert!(!out.status.success(), "{extra:?} must not be ignored");
+        let err = stderr(&out);
+        assert!(
+            err.contains("--validate"),
+            "error must mention --validate: {err}"
+        );
+    }
+}
+
+#[test]
 fn scenario_mode_reports_parse_errors_with_line_numbers() {
     let dir = std::env::temp_dir().join("nab-sim-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
