@@ -22,14 +22,17 @@ use nab_gf::matrix::Matrix;
 use nab_gf::{Field, Gf256, Gf2_16};
 use nab_netgraph::gen;
 use nab_scenario::json::Json;
-use nab_scenario::{parse_str, SweepReport};
+use nab_scenario::{parse_str, PhaseLatency, SweepReport};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Bumped whenever a key is added to / removed from the emitted JSON.
 /// v2: plan-cache stats in timed sweep metrics/aggregate plus the
 /// `plan_cache` cold-vs-cached comparison section.
-pub const SCHEMA_VERSION: u64 = 2;
+/// v3: per-phase latency-distribution `percentiles` section, plus the
+/// `latency` histograms and `metrics` registry inside the embedded timed
+/// sweep report (see `docs/observability.md`).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// The bundled scenario the sweep benchmark runs (the E3 complete-graph
 /// grid), embedded so the `perf` binary works from any directory.
@@ -365,9 +368,32 @@ pub fn run_plan_cache_bench(quick: bool, threads: usize) -> Result<PlanCacheBenc
     })
 }
 
+/// Renders the sweep-wide latency percentiles (`p50`/`p90`/`p99` wall
+/// nanoseconds per phase) from the aggregate latency histograms.
+fn percentiles_json(latency: &PhaseLatency) -> Json {
+    Json::obj(
+        latency
+            .phases()
+            .into_iter()
+            .map(|(name, h)| {
+                (
+                    name,
+                    Json::obj(vec![
+                        ("count", Json::U64(h.count())),
+                        ("p50_ns", Json::U64(h.percentile(50.0))),
+                        ("p90_ns", Json::U64(h.percentile(90.0))),
+                        ("p99_ns", Json::U64(h.percentile(99.0))),
+                    ]),
+                )
+            })
+            .collect(),
+    )
+}
+
 /// Renders the sweep benchmark report (`BENCH_sweep.json`): run metadata,
-/// the full timed sweep report (per-job `wall_*_ns` and plan-cache stats
-/// included), and the cold-vs-cached `plan_cache` comparison.
+/// per-phase latency percentiles, the full timed sweep report (per-job
+/// `wall_*_ns`, latency histograms, and plan-cache stats included), and
+/// the cold-vs-cached `plan_cache` comparison.
 pub fn sweep_report_json(
     report: &SweepReport,
     wall_ns: u64,
@@ -381,6 +407,7 @@ pub fn sweep_report_json(
         ("quick", Json::Bool(quick)),
         ("threads", Json::U64(threads as u64)),
         ("wall_ns", Json::U64(wall_ns)),
+        ("percentiles", percentiles_json(&report.aggregate.latency)),
         (
             "plan_cache",
             Json::obj(vec![
@@ -439,7 +466,7 @@ mod tests {
             total_ns: 1234,
         }];
         let j = gf_report_json(&cases, true).render();
-        assert!(j.starts_with("{\"report\":\"gf\",\"schema\":2,\"quick\":true,\"cases\":["));
+        assert!(j.starts_with("{\"report\":\"gf\",\"schema\":3,\"quick\":true,\"cases\":["));
         for key in [
             "\"op\":",
             "\"tier\":",
@@ -492,7 +519,7 @@ mod tests {
         assert!(report.aggregate.all_correct);
         let j = sweep_report_json(&report, wall_ns, threads, true, &fixture_plan_cache_bench())
             .render();
-        assert!(j.starts_with("{\"report\":\"sweep\",\"schema\":2"));
+        assert!(j.starts_with("{\"report\":\"sweep\",\"schema\":3"));
         assert!(
             j.contains("\"wall_total_ns\":"),
             "timed sweep embedded: {j}"
@@ -500,6 +527,28 @@ mod tests {
         assert!(
             j.contains("\"plan_cache_hits\":"),
             "per-job cache stats embedded: {j}"
+        );
+        // The v3 percentile section covers every phase plus the
+        // whole-instance distribution, in declaration order.
+        assert!(
+            j.contains("\"percentiles\":{\"phase1\":{\"count\":"),
+            "latency percentiles embedded: {j}"
+        );
+        for phase in ["phase1", "equality", "flags", "dispute", "instance"] {
+            assert!(
+                j.contains(&format!("\"{phase}\":{{\"count\":")),
+                "percentiles cover {phase}: {j}"
+            );
+        }
+        for p in ["p50_ns", "p90_ns", "p99_ns"] {
+            assert!(j.contains(&format!("\"{p}\":")), "{p} present");
+        }
+        // The timed sweep inside carries per-job latency histograms and
+        // the sweep-wide metrics registry.
+        assert!(j.contains("\"latency\":{\"phase1\":{"), "job latency: {j}");
+        assert!(
+            j.contains("\"metrics\":{\"counters\":{"),
+            "metrics registry: {j}"
         );
         assert!(j.contains(
             "\"plan_cache\":{\"scenario\":\"scale-grid\",\"jobs\":8,\"threads\":2,\

@@ -208,6 +208,9 @@ impl DisputeState {
         new_pairs: &[Pair],
         exposed: &[NodeId],
     ) -> Vec<NodeId> {
+        nab_obs::trace::emit(nab_obs::trace::EventKind::DisputeRaised {
+            new_pairs: new_pairs.len() as u32,
+        });
         self.pairs.extend(new_pairs.iter().copied());
         // An exposed node is "in dispute with all its neighbors".
         for &x in exposed {
@@ -237,7 +240,11 @@ impl DisputeState {
             self.removed.extend(imp);
         }
         self.removed.extend(exposed.iter().copied());
-        self.removed.difference(&before).copied().collect()
+        let newly_removed: Vec<NodeId> = self.removed.difference(&before).copied().collect();
+        for &node in &newly_removed {
+            nab_obs::trace::emit(nab_obs::trace::EventKind::NodeExposed { node: node as u32 });
+        }
+        newly_removed
     }
 
     /// The graph `G_{k+1}`: the original graph minus removed nodes and

@@ -15,6 +15,7 @@ use nab_bb::baselines::RoutedChannel;
 use nab_bb::router::Routed;
 use nab_netgraph::arborescence::{pack_arborescences, Arborescence};
 use nab_netgraph::{DiGraph, NodeId};
+use nab_obs::trace::{self, EventKind, InstanceSpan, Phase, PhaseSpan};
 use nab_sim::NetSim;
 
 use crate::adversary::NabAdversary;
@@ -332,6 +333,9 @@ impl NabEngine {
             });
         }
         self.instance += 1;
+        // Tracing: a no-op unless a sink is installed on this thread (the
+        // sweep runner installs one per worker when `--trace` is active).
+        let _instance_span = InstanceSpan::enter((self.instance - 1) as u64);
         let plan = Arc::clone(&self.plan);
         // While no disputes have shrunk the graph, `G_k` *is* `G_1` and
         // the plan's precomputed γ/ρ/arborescences apply verbatim; only
@@ -350,6 +354,7 @@ impl NabEngine {
 
         // Special case 1: the source is known faulty — agree on default.
         if !gk.is_active(SOURCE) {
+            trace::emit(EventKind::InstanceDefaulted);
             let outputs = gk
                 .nodes()
                 .map(|v| (v, Value::zeros(self.cfg.symbols)))
@@ -386,6 +391,7 @@ impl NabEngine {
         };
 
         // Phase 1.
+        let p1_span = PhaseSpan::enter(Phase::Phase1);
         let t0 = std::time::Instant::now();
         let p1 = run_phase1(gk, SOURCE, input, trees, faulty, adv);
         let mut times = PhaseTimes {
@@ -396,6 +402,7 @@ impl NabEngine {
             phase1: t0.elapsed().as_nanos() as u64,
             ..PhaseWallNanos::default()
         };
+        drop(p1_span);
 
         // Special case 2: at least f nodes excluded → everyone left is
         // fault-free; Phase 1 alone is reliable.
@@ -415,6 +422,7 @@ impl NabEngine {
         }
 
         // Phase 2: equality check + flag broadcast.
+        let eq_span = PhaseSpan::enter(Phase::Equality);
         let t0 = std::time::Instant::now();
         let rho = if undisputed {
             plan.rho0()
@@ -433,7 +441,9 @@ impl NabEngine {
         let eq = run_equality_phase(gk, &p1.values, &scheme, faulty, adv);
         times.equality = eq.duration;
         wall.equality = t0.elapsed().as_nanos() as u64;
+        drop(eq_span);
 
+        let flags_span = PhaseSpan::enter(Phase::Flags);
         let t0 = std::time::Instant::now();
         let participants: Vec<NodeId> = gk.nodes().collect();
         let f_res = self.residual_f();
@@ -449,6 +459,7 @@ impl NabEngine {
         );
         times.flags = flags.duration;
         wall.flags = t0.elapsed().as_nanos() as u64;
+        drop(flags_span);
 
         // All fault-free nodes see the same set of agreed flags; evaluate
         // at an arbitrary fault-free participant.
@@ -474,6 +485,7 @@ impl NabEngine {
         }
 
         // Phase 3: dispute control.
+        let dispute_span = PhaseSpan::enter(Phase::Dispute);
         let t0 = std::time::Instant::now();
         let truthful = honest_claims(
             gk,
@@ -540,6 +552,7 @@ impl NabEngine {
             .unwrap_or_else(|| Value::zeros(self.cfg.symbols));
         let outputs = participants.iter().map(|&v| (v, decided.clone())).collect();
         wall.dispute = t0.elapsed().as_nanos() as u64;
+        drop(dispute_span);
 
         Ok(InstanceReport {
             outputs,

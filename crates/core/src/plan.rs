@@ -314,6 +314,7 @@ impl PlanCache {
         if let Some(plan) = shard.read().expect("plan shard poisoned").get(&key) {
             if plan.graph() == g && plan.f() == f {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                nab_obs::trace::emit(nab_obs::trace::EventKind::PlanCacheHit);
                 return Ok(PlanFetch {
                     plan: Arc::clone(plan),
                     hit: true,
@@ -327,6 +328,7 @@ impl PlanCache {
         if let Some(plan) = shard.get(&key) {
             if plan.graph() == g && plan.f() == f {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                nab_obs::trace::emit(nab_obs::trace::EventKind::PlanCacheHit);
                 return Ok(PlanFetch {
                     plan: Arc::clone(plan),
                     hit: true,
@@ -334,10 +336,12 @@ impl PlanCache {
                 });
             }
         }
+        nab_obs::trace::emit(nab_obs::trace::EventKind::PlanCacheMiss);
         let plan = Arc::new(ExecutionPlan::build(g.clone(), f)?);
         let build_ns = plan.build_wall_ns();
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.build_ns.fetch_add(build_ns, Ordering::Relaxed);
+        nab_obs::trace::emit(nab_obs::trace::EventKind::PlanBuilt { build_ns });
         // A digest collision (different graph already under this key)
         // keeps the incumbent and hands the caller a private plan.
         shard.entry(key).or_insert_with(|| Arc::clone(&plan));

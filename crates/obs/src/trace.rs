@@ -1,0 +1,467 @@
+//! Structured event tracing: `Copy` events, thread-local buffering, and the
+//! [`TraceSink`] trait.
+//!
+//! # Design
+//!
+//! Instrumentation points in the engine hot path must cost (almost) nothing
+//! when tracing is off and must not allocate per event when it is on:
+//!
+//! - Events are plain `Copy` structs — no strings, no boxing. Context that
+//!   would otherwise be repeated on every event (job index, stream,
+//!   instance) lives in thread-local *context* fields set once by the
+//!   enclosing scope ([`set_job`], [`set_stream`], [`set_instance`]).
+//! - Each thread owns a preallocated buffer of [`BUFFER_CAPACITY`] events.
+//!   [`emit`] appends to it and only calls the sink when the buffer fills;
+//!   uninstalling the sink ([`set_thread_sink`] with `None`) flushes the
+//!   remainder. Sinks therefore receive *batches*, not single events.
+//! - Timestamps are nanoseconds from a process-wide monotonic epoch
+//!   (first sink installation), captured **once** per event. A global
+//!   atomic sequence number makes the interleaving of concurrently
+//!   emitting threads reconstructable (and sortable) after the fact.
+//! - With no sink installed on the current thread, [`emit`] is a
+//!   thread-local load and a branch. No clock read, no sequence-number
+//!   traffic, no buffer write.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Events buffered per thread before a batch is handed to the sink.
+pub const BUFFER_CAPACITY: usize = 1024;
+
+/// A protocol phase, as instrumented in the engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Phase 1 — unreliable broadcast down capacity-respecting
+    /// arborescences.
+    Phase1,
+    /// Phase 2a — the coded equality check (Algorithm 1).
+    Equality,
+    /// Phase 2b — 1-bit Byzantine broadcast of MISMATCH flags.
+    Flags,
+    /// Phase 3 — dispute control.
+    Dispute,
+}
+
+impl Phase {
+    /// Stable lower-case name used in serialized traces and metric keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Phase1 => "phase1",
+            Phase::Equality => "equality",
+            Phase::Flags => "flags",
+            Phase::Dispute => "dispute",
+        }
+    }
+}
+
+/// What happened. Payload fields are the event-specific data; shared
+/// context (job/stream/instance) lives on [`Event`] itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A sweep over `jobs` grid points is starting.
+    SweepStart {
+        /// Total number of jobs in the sweep grid.
+        jobs: u64,
+    },
+    /// The sweep finished (all jobs done, report assembled next).
+    SweepEnd,
+    /// A worker picked up the job named by the event's `job` field.
+    JobStart,
+    /// The job finished (its outcome is recorded in the report).
+    JobEnd,
+    /// A broadcast instance is starting.
+    InstanceStart,
+    /// The broadcast instance finished.
+    InstanceEnd,
+    /// The instance short-circuited: the source is already removed from
+    /// `G_k`, every honest node defaults. No phases run.
+    InstanceDefaulted,
+    /// A protocol phase is starting.
+    PhaseStart(Phase),
+    /// The protocol phase finished.
+    PhaseEnd(Phase),
+    /// The plan cache served an [`ExecutionPlan`] without building.
+    PlanCacheHit,
+    /// The plan cache had no plan for this key; a build follows.
+    PlanCacheMiss,
+    /// A plan build completed (follows a miss) in `build_ns` nanoseconds.
+    PlanBuilt {
+        /// Wall-clock nanoseconds spent building the plan.
+        build_ns: u64,
+    },
+    /// Dispute control ran and produced `new_pairs` new dispute pairs.
+    DisputeRaised {
+        /// Number of dispute pairs added to the accusation graph.
+        new_pairs: u32,
+    },
+    /// Dispute control exposed `node` as faulty; it leaves `G_{k+1}`.
+    NodeExposed {
+        /// The exposed node's id.
+        node: u32,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case name used as the `kind` field in serialized
+    /// traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::SweepStart { .. } => "sweep_start",
+            EventKind::SweepEnd => "sweep_end",
+            EventKind::JobStart => "job_start",
+            EventKind::JobEnd => "job_end",
+            EventKind::InstanceStart => "instance_start",
+            EventKind::InstanceEnd => "instance_end",
+            EventKind::InstanceDefaulted => "instance_defaulted",
+            EventKind::PhaseStart(_) => "phase_start",
+            EventKind::PhaseEnd(_) => "phase_end",
+            EventKind::PlanCacheHit => "plan_cache_hit",
+            EventKind::PlanCacheMiss => "plan_cache_miss",
+            EventKind::PlanBuilt { .. } => "plan_built",
+            EventKind::DisputeRaised { .. } => "dispute_raised",
+            EventKind::NodeExposed { .. } => "node_exposed",
+        }
+    }
+}
+
+/// One trace event: global order, timestamp, context, and the kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Global emission order across all threads (0-based, gap-free as long
+    /// as a single sink generation is active).
+    pub seq: u64,
+    /// Nanoseconds since the process-wide trace epoch.
+    pub ts_ns: u64,
+    /// Sweep job index (0 outside any job).
+    pub job: u64,
+    /// Stream index within the job (0 outside any stream).
+    pub stream: u32,
+    /// 0-based broadcast instance index within the job.
+    pub instance: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Receives batches of events from instrumented threads.
+///
+/// Implementations must be cheap and must **not** call back into [`emit`]
+/// (the thread-local buffer is borrowed during delivery). Batches from
+/// different threads arrive unordered; sort by [`Event::seq`] to recover
+/// the global emission order.
+pub trait TraceSink: Send + Sync {
+    /// Deliver a batch of events emitted by one thread, in emission order.
+    fn record_batch(&self, events: &[Event]);
+}
+
+/// A sink that discards everything. Useful for measuring instrumentation
+/// overhead with the full emit path (clock, sequence, buffer) active.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record_batch(&self, _events: &[Event]) {}
+}
+
+/// A sink that accumulates events in memory, for tests and for the CLI's
+/// end-of-run trace writers.
+#[derive(Debug, Default)]
+pub struct BufferSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl BufferSink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain all recorded events, sorted by global sequence number.
+    pub fn take_sorted(&self) -> Vec<Event> {
+        let mut out = std::mem::take(&mut *self.events.lock().unwrap());
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn record_batch(&self, events: &[Event]) {
+        self.events.lock().unwrap().extend_from_slice(events);
+    }
+}
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+struct ThreadState {
+    sink: Option<Arc<dyn TraceSink>>,
+    job: u64,
+    stream: u32,
+    instance: u64,
+    buf: Vec<Event>,
+}
+
+impl ThreadState {
+    const fn new() -> Self {
+        Self {
+            sink: None,
+            job: 0,
+            stream: 0,
+            instance: 0,
+            buf: Vec::new(),
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Some(sink) = &self.sink {
+            if !self.buf.is_empty() {
+                sink.record_batch(&self.buf);
+                self.buf.clear();
+            }
+        }
+    }
+}
+
+thread_local! {
+    static STATE: RefCell<ThreadState> = const { RefCell::new(ThreadState::new()) };
+}
+
+/// Install (or, with `None`, remove) the trace sink for the **current
+/// thread**. Removal and replacement flush any buffered events to the
+/// outgoing sink first. Installing a sink preallocates the thread's event
+/// buffer and pins the process-wide trace epoch if this is the first
+/// installation ever.
+///
+/// Sinks are deliberately per-thread rather than global: parallel tests in
+/// one binary would otherwise pollute each other's traces. Code that
+/// spawns workers (the sweep runner) installs the shared sink on each
+/// worker thread it creates.
+pub fn set_thread_sink(sink: Option<Arc<dyn TraceSink>>) {
+    STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        s.flush();
+        if sink.is_some() {
+            epoch(); // pin the epoch before the first event
+            let shortfall = BUFFER_CAPACITY.saturating_sub(s.buf.capacity());
+            s.buf.reserve_exact(shortfall);
+        }
+        s.sink = sink;
+    });
+}
+
+/// True if a sink is installed on the current thread (i.e. [`emit`] will
+/// record). Lets callers skip computing expensive event payloads.
+pub fn enabled() -> bool {
+    STATE.with(|s| s.borrow().sink.is_some())
+}
+
+/// Set the sweep-job context for subsequent events on this thread, and
+/// reset the stream/instance context to 0.
+pub fn set_job(job: u64) {
+    STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        s.job = job;
+        s.stream = 0;
+        s.instance = 0;
+    });
+}
+
+/// Set the stream context for subsequent events on this thread.
+pub fn set_stream(stream: u32) {
+    STATE.with(|s| s.borrow_mut().stream = stream);
+}
+
+/// Set the 0-based instance context for subsequent events on this thread.
+pub fn set_instance(instance: u64) {
+    STATE.with(|s| s.borrow_mut().instance = instance);
+}
+
+/// Record one event on the current thread. A no-op (one thread-local load
+/// and a branch) when no sink is installed; otherwise captures the
+/// timestamp and sequence number once and appends to the thread buffer,
+/// flushing a full batch to the sink.
+pub fn emit(kind: EventKind) {
+    STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        if s.sink.is_none() {
+            return;
+        }
+        let ev = Event {
+            seq: SEQ.fetch_add(1, Ordering::Relaxed),
+            ts_ns: epoch().elapsed().as_nanos() as u64,
+            job: s.job,
+            stream: s.stream,
+            instance: s.instance,
+            kind,
+        };
+        s.buf.push(ev);
+        if s.buf.len() >= BUFFER_CAPACITY {
+            s.flush();
+        }
+    });
+}
+
+/// Flush the current thread's buffered events to its sink, if any.
+pub fn flush() {
+    STATE.with(|s| s.borrow_mut().flush());
+}
+
+/// RAII guard for a phase: emits `PhaseStart` on construction and
+/// `PhaseEnd` on drop, so every exit path (including `?` early returns)
+/// closes the span.
+#[must_use = "dropping the span immediately emits PhaseEnd right after PhaseStart"]
+pub struct PhaseSpan {
+    phase: Phase,
+}
+
+impl PhaseSpan {
+    /// Open a phase span.
+    pub fn enter(phase: Phase) -> Self {
+        emit(EventKind::PhaseStart(phase));
+        Self { phase }
+    }
+}
+
+impl Drop for PhaseSpan {
+    fn drop(&mut self) {
+        emit(EventKind::PhaseEnd(self.phase));
+    }
+}
+
+/// RAII guard for a broadcast instance: sets the instance context and
+/// emits `InstanceStart` on construction, `InstanceEnd` on drop.
+#[must_use = "dropping the span immediately emits InstanceEnd right after InstanceStart"]
+pub struct InstanceSpan {
+    _private: (),
+}
+
+impl InstanceSpan {
+    /// Open an instance span for the given 0-based instance index.
+    pub fn enter(instance: u64) -> Self {
+        set_instance(instance);
+        emit(EventKind::InstanceStart);
+        Self { _private: () }
+    }
+}
+
+impl Drop for InstanceSpan {
+    fn drop(&mut self) {
+        emit(EventKind::InstanceEnd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_without_sink_is_a_no_op() {
+        // Nothing to observe directly; this pins that no sink ⇒ no panic
+        // and no state change visible afterwards.
+        emit(EventKind::PlanCacheHit);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn events_reach_the_sink_on_flush_and_uninstall() {
+        let sink = Arc::new(BufferSink::new());
+        set_thread_sink(Some(sink.clone()));
+        assert!(enabled());
+        set_job(3);
+        set_stream(1);
+        let span = InstanceSpan::enter(7);
+        emit(EventKind::PlanCacheMiss);
+        emit(EventKind::PlanBuilt { build_ns: 42 });
+        drop(span);
+        assert!(sink.is_empty(), "events buffer until flush");
+        set_thread_sink(None);
+        assert!(!enabled());
+
+        let events = sink.take_sorted();
+        assert_eq!(events.len(), 4);
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "instance_start",
+                "plan_cache_miss",
+                "plan_built",
+                "instance_end"
+            ]
+        );
+        for e in &events {
+            assert_eq!((e.job, e.stream, e.instance), (3, 1, 7));
+        }
+        // seq strictly increasing, timestamps monotone within the thread.
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+            assert!(w[0].ts_ns <= w[1].ts_ns);
+        }
+    }
+
+    #[test]
+    fn full_buffer_flushes_mid_stream() {
+        let sink = Arc::new(BufferSink::new());
+        set_thread_sink(Some(sink.clone()));
+        for _ in 0..BUFFER_CAPACITY {
+            emit(EventKind::PlanCacheHit);
+        }
+        assert_eq!(sink.len(), BUFFER_CAPACITY, "batch flushed when full");
+        emit(EventKind::PlanCacheHit);
+        set_thread_sink(None);
+        assert_eq!(sink.len(), BUFFER_CAPACITY + 1);
+    }
+
+    #[test]
+    fn phase_span_closes_on_every_exit_path() {
+        fn fallible(fail: bool) -> Result<(), ()> {
+            let _span = PhaseSpan::enter(Phase::Equality);
+            if fail {
+                return Err(());
+            }
+            Ok(())
+        }
+        let sink = Arc::new(BufferSink::new());
+        set_thread_sink(Some(sink.clone()));
+        fallible(false).unwrap();
+        fallible(true).unwrap_err();
+        set_thread_sink(None);
+        let kinds: Vec<&str> = sink.take_sorted().iter().map(|e| e.kind.name()).collect();
+        assert_eq!(
+            kinds,
+            ["phase_start", "phase_end", "phase_start", "phase_end"]
+        );
+    }
+
+    #[test]
+    fn set_job_resets_stream_and_instance() {
+        let sink = Arc::new(BufferSink::new());
+        set_thread_sink(Some(sink.clone()));
+        set_job(1);
+        set_stream(2);
+        set_instance(9);
+        set_job(4);
+        emit(EventKind::JobStart);
+        set_thread_sink(None);
+        let events = sink.take_sorted();
+        assert_eq!(
+            (events[0].job, events[0].stream, events[0].instance),
+            (4, 0, 0)
+        );
+    }
+}

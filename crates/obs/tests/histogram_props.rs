@@ -1,0 +1,61 @@
+//! Partition-invariance property for histogram merging: however a sample
+//! set is split across "threads", merging the per-thread histograms yields
+//! exactly the histogram of recording everything on one thread. This is
+//! the property that makes the sweep runner's latency distributions
+//! deterministic for any worker-thread count.
+
+use nab_obs::Histogram;
+use proptest::prelude::*;
+
+fn record_all(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// 1 thread vs N threads: any chunking of the samples, merged in
+    /// order, equals single-threaded recording.
+    #[test]
+    fn merge_is_partition_invariant(
+        samples in proptest::collection::vec(any::<u64>(), 0..200),
+        threads in 1usize..8,
+    ) {
+        let whole = record_all(&samples);
+
+        let chunk = samples.len().div_ceil(threads).max(1);
+        let mut merged = Histogram::new();
+        for part in samples.chunks(chunk) {
+            merged.merge(&record_all(part));
+        }
+        prop_assert_eq!(&merged, &whole);
+
+        // Reversed merge order too: merge must be commutative.
+        let mut reversed = Histogram::new();
+        for part in samples.chunks(chunk).rev() {
+            reversed.merge(&record_all(part));
+        }
+        prop_assert_eq!(&reversed, &whole);
+    }
+
+    /// Exact stats survive any partition, and percentiles are bounded by
+    /// the observed range with p0 = min, p100 = max.
+    #[test]
+    fn stats_and_percentiles_are_consistent(
+        samples in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let h = record_all(&samples);
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.sum(), samples.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *samples.iter().max().unwrap());
+        prop_assert_eq!(h.percentile(0.0), h.min());
+        prop_assert_eq!(h.percentile(100.0), h.max());
+        let (p50, p90, p99) = (h.percentile(50.0), h.percentile(90.0), h.percentile(99.0));
+        prop_assert!(h.min() <= p50 && p50 <= p90 && p90 <= p99 && p99 <= h.max());
+    }
+}

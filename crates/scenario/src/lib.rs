@@ -56,7 +56,10 @@ pub mod topology;
 pub use adversary::AdversarySpec;
 pub use faults::FaultSchedule;
 pub use parse::{load, parse_str, ParseError};
-pub use report::{Aggregate, JobMetrics, JobOutcome, SweepReport};
+pub use report::{Aggregate, JobMetrics, JobOutcome, PhaseLatency, SweepReport};
 pub use spec::ScenarioSpec;
-pub use sweep::{expand_jobs, run_sweep, run_sweep_with_cache, Job};
+pub use sweep::{
+    expand_jobs, run_sweep, run_sweep_with_cache, run_sweep_with_options, Job, ProgressSnapshot,
+    SweepOptions,
+};
 pub use topology::{Tok, TopologyTemplate};

@@ -14,10 +14,77 @@
 //!   deterministic (fixed keys in a fixed order), only the nanosecond
 //!   values vary.
 
-use nab::engine::PhaseWallNanos;
+use nab::engine::InstanceReport;
 use nab_netgraph::NodeId;
+use nab_obs::{Histogram, Registry};
 
 use crate::json::Json;
+
+/// Per-phase wall-clock **latency distributions** over a set of broadcast
+/// instances. Replaces the old sum-only `PhaseWallNanos` accumulation in
+/// job metrics: the exact per-phase sums are still available
+/// ([`Histogram::sum`] backs the legacy `wall_*_ns` keys), but the
+/// histograms additionally carry p50/p90/p99 and min/max.
+///
+/// A phase's histogram only receives a sample when that phase actually
+/// ran: defaulted instances record nothing per phase, instances served by
+/// the phase-1-only fast path skip `equality`/`flags`, and `dispute` only
+/// records when dispute control executed. The `instance` histogram records
+/// every instance's total (0 for defaulted ones). Merging is commutative
+/// and associative (see [`Histogram::merge`]), so aggregation is
+/// deterministic for any worker-thread partition of the jobs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseLatency {
+    /// Phase 1 (arborescence streaming) wall nanoseconds per instance.
+    pub phase1: Histogram,
+    /// Equality-check wall nanoseconds per instance.
+    pub equality: Histogram,
+    /// Flag-broadcast wall nanoseconds per instance.
+    pub flags: Histogram,
+    /// Dispute-control wall nanoseconds per instance that disputed.
+    pub dispute: Histogram,
+    /// Whole-instance wall nanoseconds (sum of the phases that ran).
+    pub instance: Histogram,
+}
+
+impl PhaseLatency {
+    /// Record one instance's measured wall-clock breakdown.
+    pub fn record_instance(&mut self, rep: &InstanceReport) {
+        let total = rep.wall.phase1 + rep.wall.equality + rep.wall.flags + rep.wall.dispute;
+        self.instance.record(total);
+        if rep.defaulted {
+            return;
+        }
+        self.phase1.record(rep.wall.phase1);
+        if rep.rho_k > 0 {
+            self.equality.record(rep.wall.equality);
+            self.flags.record(rep.wall.flags);
+        }
+        if rep.dispute_ran {
+            self.dispute.record(rep.wall.dispute);
+        }
+    }
+
+    /// Merge another job's distributions into this one.
+    pub fn merge(&mut self, other: &PhaseLatency) {
+        self.phase1.merge(&other.phase1);
+        self.equality.merge(&other.equality);
+        self.flags.merge(&other.flags);
+        self.dispute.merge(&other.dispute);
+        self.instance.merge(&other.instance);
+    }
+
+    /// `(name, histogram)` pairs in the fixed serialization order.
+    pub fn phases(&self) -> [(&'static str, &Histogram); 5] {
+        [
+            ("phase1", &self.phase1),
+            ("equality", &self.equality),
+            ("flags", &self.flags),
+            ("dispute", &self.dispute),
+            ("instance", &self.instance),
+        ]
+    }
+}
 
 /// The paper's bounds evaluated for one job's network.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,9 +153,10 @@ pub struct JobMetrics {
     pub rho1: u64,
     /// The paper's bounds, when the scenario asked for them.
     pub bounds: Option<JobBounds>,
-    /// Summed per-phase **wall-clock** nanoseconds across the job's
+    /// Per-phase **wall-clock** latency distributions across the job's
     /// instances (measured, not simulated; excluded from canonical JSON).
-    pub wall: PhaseWallNanos,
+    /// The per-phase sums back the legacy `wall_*_ns` keys.
+    pub latency: PhaseLatency,
     /// Total measured wall-clock nanoseconds for the job's measurement
     /// loop (includes engine setup and input generation).
     pub wall_ns: u64,
@@ -175,6 +243,10 @@ pub struct Aggregate {
     /// Plan-build wall nanoseconds summed over measured jobs (timed JSON
     /// only).
     pub plan_build_ns: u64,
+    /// Per-phase latency distributions merged over all measured jobs
+    /// (timed JSON only; the merge is partition-invariant, so this is
+    /// identical for any worker-thread count).
+    pub latency: PhaseLatency,
 }
 
 impl Aggregate {
@@ -200,6 +272,7 @@ impl Aggregate {
             plan_hits: 0,
             plan_misses: 0,
             plan_build_ns: 0,
+            latency: PhaseLatency::default(),
         };
         let mut throughput_sum = 0.0;
         for outcome in outcomes {
@@ -225,6 +298,7 @@ impl Aggregate {
                     agg.plan_hits += m.plan_hits;
                     agg.plan_misses += m.plan_misses;
                     agg.plan_build_ns += m.plan_build_ns;
+                    agg.latency.merge(&m.latency);
                 }
                 Err(_) => agg.rejected_jobs += 1,
             }
@@ -282,7 +356,7 @@ impl SweepReport {
     /// timings — exposed so downstream tooling (the `perf` binary) can
     /// embed the report in a larger document.
     pub fn to_json_value(&self, with_timings: bool) -> Json {
-        Json::obj(vec![
+        let mut doc = Json::obj(vec![
             ("scenario", Json::str(&self.scenario)),
             ("topology", Json::str(&self.topology)),
             ("adversary", Json::str(&self.adversary)),
@@ -297,7 +371,44 @@ impl SweepReport {
                 ),
             ),
             ("aggregate", aggregate_json(&self.aggregate, with_timings)),
-        ])
+        ]);
+        if with_timings {
+            if let Json::Obj(pairs) = &mut doc {
+                pairs.push(("metrics".into(), registry_json(&self.metrics_registry())));
+            }
+        }
+        doc
+    }
+
+    /// The sweep's fixed-schema metrics registry: counters for the things
+    /// the sweep did and per-phase latency histograms merged over all
+    /// measured jobs. This is what the timed JSON's `metrics` section and
+    /// the `perf` binary's percentile block render; future subsystems
+    /// (the stats endpoint of a serving layer) can consume it directly.
+    pub fn metrics_registry(&self) -> Registry {
+        let a = &self.aggregate;
+        let mut reg = Registry::new();
+        reg.counter_add("jobs", a.jobs as u64);
+        reg.counter_add("jobs_ok", a.ok_jobs as u64);
+        reg.counter_add("jobs_rejected", a.rejected_jobs as u64);
+        reg.counter_add("instances", a.total_instances as u64);
+        reg.counter_add("dispute_rounds", a.total_dispute_rounds as u64);
+        reg.counter_add("nodes_exposed", a.exposed_nodes as u64);
+        reg.counter_add("plan_cache_hits", a.plan_hits);
+        reg.counter_add("plan_cache_misses", a.plan_misses);
+        let (mut mismatch, mut defaulted) = (0u64, 0u64);
+        for job in &self.jobs {
+            if let Ok(m) = &job.result {
+                mismatch += m.mismatch_instances as u64;
+                defaulted += m.defaulted_instances as u64;
+            }
+        }
+        reg.counter_add("mismatch_instances", mismatch);
+        reg.counter_add("defaulted_instances", defaulted);
+        for (name, histogram) in a.latency.phases() {
+            reg.set_histogram(&format!("latency_{name}_ns"), histogram.clone());
+        }
+        reg
     }
 
     /// A terminal-friendly summary table of the per-job outcomes.
@@ -427,16 +538,58 @@ fn metrics_json(m: &JobMetrics, with_timings: bool) -> Json {
         ));
     }
     if with_timings {
-        pairs.push(("wall_phase1_ns", Json::U64(m.wall.phase1)));
-        pairs.push(("wall_equality_ns", Json::U64(m.wall.equality)));
-        pairs.push(("wall_flags_ns", Json::U64(m.wall.flags)));
-        pairs.push(("wall_dispute_ns", Json::U64(m.wall.dispute)));
+        pairs.push(("wall_phase1_ns", Json::U64(m.latency.phase1.sum())));
+        pairs.push(("wall_equality_ns", Json::U64(m.latency.equality.sum())));
+        pairs.push(("wall_flags_ns", Json::U64(m.latency.flags.sum())));
+        pairs.push(("wall_dispute_ns", Json::U64(m.latency.dispute.sum())));
         pairs.push(("wall_total_ns", Json::U64(m.wall_ns)));
         pairs.push(("plan_cache_hits", Json::U64(m.plan_hits)));
         pairs.push(("plan_cache_misses", Json::U64(m.plan_misses)));
         pairs.push(("plan_build_ns", Json::U64(m.plan_build_ns)));
+        pairs.push(("latency", latency_json(&m.latency)));
     }
     Json::obj(pairs)
+}
+
+/// Histogram summary in the fixed timed-JSON schema: exact count/sum and
+/// min/max plus the log2-bucket percentile estimates.
+fn histogram_json(h: &Histogram) -> Json {
+    Json::obj(vec![
+        ("count", Json::U64(h.count())),
+        ("sum_ns", Json::U64(h.sum())),
+        ("min_ns", Json::U64(h.min())),
+        ("max_ns", Json::U64(h.max())),
+        ("p50_ns", Json::U64(h.percentile(50.0))),
+        ("p90_ns", Json::U64(h.percentile(90.0))),
+        ("p99_ns", Json::U64(h.percentile(99.0))),
+    ])
+}
+
+fn latency_json(latency: &PhaseLatency) -> Json {
+    Json::obj(
+        latency
+            .phases()
+            .into_iter()
+            .map(|(name, h)| (name, histogram_json(h)))
+            .collect(),
+    )
+}
+
+fn registry_json(reg: &Registry) -> Json {
+    Json::obj(vec![
+        (
+            "counters",
+            Json::obj(reg.counters().map(|(n, v)| (n, Json::U64(v))).collect()),
+        ),
+        (
+            "histograms",
+            Json::obj(
+                reg.histograms()
+                    .map(|(n, h)| (n, histogram_json(h)))
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn aggregate_json(a: &Aggregate, with_timings: bool) -> Json {
@@ -463,10 +616,15 @@ fn aggregate_json(a: &Aggregate, with_timings: bool) -> Json {
         ("exposed_nodes", Json::U64(a.exposed_nodes as u64)),
     ];
     if with_timings {
+        pairs.push(("wall_phase1_ns", Json::U64(a.latency.phase1.sum())));
+        pairs.push(("wall_equality_ns", Json::U64(a.latency.equality.sum())));
+        pairs.push(("wall_flags_ns", Json::U64(a.latency.flags.sum())));
+        pairs.push(("wall_dispute_ns", Json::U64(a.latency.dispute.sum())));
         pairs.push(("wall_total_ns", Json::U64(a.wall_ns)));
         pairs.push(("plan_cache_hits", Json::U64(a.plan_hits)));
         pairs.push(("plan_cache_misses", Json::U64(a.plan_misses)));
         pairs.push(("plan_build_ns", Json::U64(a.plan_build_ns)));
+        pairs.push(("latency", latency_json(&a.latency)));
     }
     Json::obj(pairs)
 }
@@ -474,6 +632,17 @@ fn aggregate_json(a: &Aggregate, with_timings: bool) -> Json {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn latency() -> PhaseLatency {
+        // One fault-free instance measured at 100/50/25 ns: same sums the
+        // old `PhaseWallNanos { 100, 50, 25, 0 }` fixture carried.
+        let mut lat = PhaseLatency::default();
+        lat.phase1.record(100);
+        lat.equality.record(50);
+        lat.flags.record(25);
+        lat.instance.record(175);
+        lat
+    }
 
     fn metrics() -> JobMetrics {
         JobMetrics {
@@ -499,12 +668,7 @@ mod tests {
             gamma1: 6,
             rho1: 4,
             bounds: None,
-            wall: PhaseWallNanos {
-                phase1: 100,
-                equality: 50,
-                flags: 25,
-                dispute: 0,
-            },
+            latency: latency(),
             wall_ns: 200,
             plan_hits: 1,
             plan_misses: 1,
@@ -614,6 +778,11 @@ mod tests {
         let canonical = report.to_json();
         assert!(!canonical.contains("wall_"), "{canonical}");
         assert!(!canonical.contains("plan_"), "{canonical}");
+        assert!(!canonical.contains("latency"), "{canonical}");
+        assert!(
+            !canonical.contains("\"metrics\":{\"counters\""),
+            "{canonical}"
+        );
         // Timed JSON carries the full per-phase breakdown plus totals
         // and the plan-cache counters.
         let timed = report.to_json_timed();
@@ -629,10 +798,59 @@ mod tests {
         ] {
             assert!(timed.contains(key), "missing {key} in {timed}");
         }
-        // The aggregate totals are the sums over measured jobs.
-        assert!(timed.ends_with("\"plan_build_ns\":40}}"), "{timed}");
+        // Per-job and aggregate latency distributions with percentiles.
+        assert!(
+            timed.contains("\"latency\":{\"phase1\":{\"count\":1,\"sum_ns\":100"),
+            "{timed}"
+        );
+        for key in ["\"p50_ns\":", "\"p90_ns\":", "\"p99_ns\":"] {
+            assert!(timed.contains(key), "missing {key} in {timed}");
+        }
+        // The report-level metrics section closes the timed document.
+        assert!(timed.contains("\"metrics\":{\"counters\":{"), "{timed}");
+        assert!(timed.contains("\"latency_phase1_ns\":{"), "{timed}");
+        assert!(timed.ends_with("}}}"), "{timed}");
         assert!(report
             .to_json_pretty_timed()
             .contains("\"wall_total_ns\": 200"));
+    }
+
+    #[test]
+    fn phase_latency_records_only_phases_that_ran() {
+        use nab::engine::{PhaseTimes, PhaseWallNanos};
+        use std::collections::BTreeMap;
+        let rep = |defaulted: bool, rho_k: u64, dispute_ran: bool| InstanceReport {
+            outputs: BTreeMap::new(),
+            times: PhaseTimes::default(),
+            wall: PhaseWallNanos {
+                phase1: 10,
+                equality: 20,
+                flags: 30,
+                dispute: 40,
+            },
+            gamma_k: 1,
+            rho_k,
+            mismatch_detected: dispute_ran,
+            dispute_ran,
+            new_pairs: Vec::new(),
+            newly_removed: Vec::new(),
+            defaulted,
+        };
+        let mut lat = PhaseLatency::default();
+        lat.record_instance(&rep(false, 4, true)); // full instance
+        lat.record_instance(&rep(false, 0, false)); // phase-1-only fast path
+        lat.record_instance(&rep(true, 0, false)); // defaulted
+        assert_eq!(lat.phase1.count(), 2);
+        assert_eq!(lat.equality.count(), 1);
+        assert_eq!(lat.flags.count(), 1);
+        assert_eq!(lat.dispute.count(), 1);
+        assert_eq!(lat.instance.count(), 3);
+        assert_eq!(lat.phase1.sum(), 20);
+        assert_eq!(lat.dispute.sum(), 40);
+
+        // Aggregate merge accumulates distributions over jobs.
+        let a = Aggregate::from_outcomes(&[outcome(0, Ok(metrics())), outcome(1, Ok(metrics()))]);
+        assert_eq!(a.latency.phase1.count(), 2);
+        assert_eq!(a.latency.phase1.sum(), 200);
     }
 }

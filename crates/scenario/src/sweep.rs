@@ -12,19 +12,20 @@
 //! into the job's slot, and the report assembles slots in index order.
 
 use std::collections::BTreeSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use nab::adversary::NabAdversary;
 use nab::dispute::DisputeState;
-use nab::engine::{instance_correct, NabConfig, NabEngine, PhaseWallNanos};
+use nab::engine::{instance_correct, NabConfig, NabEngine};
 use nab::plan::{ExecutionPlan, PlanCache};
 use nab::value::{Value, SYMBOL_BITS};
 use nab_netgraph::{DiGraph, NodeId};
+use nab_obs::trace::{self, EventKind, TraceSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::report::{Aggregate, JobBounds, JobMetrics, JobOutcome, SweepReport};
+use crate::report::{Aggregate, JobBounds, JobMetrics, JobOutcome, PhaseLatency, SweepReport};
 use crate::spec::ScenarioSpec;
 use crate::topology::ResolveCtx;
 
@@ -100,6 +101,110 @@ pub fn run_sweep(spec: &ScenarioSpec, threads: usize) -> Result<SweepReport, Str
     run_sweep_with_cache(spec, threads, None)
 }
 
+/// A point-in-time view of sweep progress, handed to the
+/// [`SweepOptions::progress`] callback after every completed job. All
+/// counters are cumulative over the sweep so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Jobs completed so far (measured or rejected).
+    pub jobs_done: usize,
+    /// Total jobs in the grid.
+    pub jobs_total: usize,
+    /// Broadcast instances executed so far.
+    pub instances: u64,
+    /// Dispute-control executions observed so far.
+    pub dispute_rounds: u64,
+    /// Plan-cache hits so far.
+    pub plan_hits: u64,
+    /// Plan builds (cache misses or direct builds) so far.
+    pub plan_misses: u64,
+    /// Jobs rejected so far (impossible grid points).
+    pub rejected: u64,
+}
+
+/// Execution options for [`run_sweep_with_options`]. Everything here is a
+/// pure observer: none of the fields can change canonical sweep results.
+#[derive(Default)]
+pub struct SweepOptions<'a> {
+    /// Worker threads; 0 = one per available CPU.
+    pub threads: usize,
+    /// Externally owned plan cache (see [`run_sweep_with_cache`]).
+    pub cache: Option<&'a PlanCache>,
+    /// Trace sink installed on every worker thread for the duration of
+    /// the sweep. Workers emit job/instance/phase/dispute/plan-cache
+    /// events (see `nab_obs::trace::EventKind`).
+    pub trace: Option<Arc<dyn TraceSink>>,
+    /// Called after each completed job with cumulative progress — the
+    /// CLI's `--progress` reporter. Invoked from worker threads; must be
+    /// `Sync`.
+    #[allow(clippy::type_complexity)]
+    pub progress: Option<&'a (dyn Fn(ProgressSnapshot) + Sync)>,
+}
+
+/// Cumulative progress counters shared by the worker threads. Updated
+/// with relaxed atomics — the snapshot a callback sees is monotone but
+/// only approximately ordered across workers, which is all a live
+/// reporter needs.
+struct ProgressState {
+    jobs_total: usize,
+    jobs_done: AtomicUsize,
+    instances: AtomicU64,
+    dispute_rounds: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl ProgressState {
+    fn new(jobs_total: usize) -> Self {
+        Self {
+            jobs_total,
+            jobs_done: AtomicUsize::new(0),
+            instances: AtomicU64::new(0),
+            dispute_rounds: AtomicU64::new(0),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Fold one finished job into the counters and return the snapshot
+    /// after it.
+    fn account(&self, outcome: &JobOutcome) -> ProgressSnapshot {
+        let jobs_done = self.jobs_done.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut snapshot = ProgressSnapshot {
+            jobs_done,
+            jobs_total: self.jobs_total,
+            ..ProgressSnapshot::default()
+        };
+        match &outcome.result {
+            Ok(m) => {
+                snapshot.instances = self
+                    .instances
+                    .fetch_add(m.instances as u64, Ordering::Relaxed)
+                    + m.instances as u64;
+                snapshot.dispute_rounds = self
+                    .dispute_rounds
+                    .fetch_add(m.dispute_rounds as u64, Ordering::Relaxed)
+                    + m.dispute_rounds as u64;
+                snapshot.plan_hits =
+                    self.plan_hits.fetch_add(m.plan_hits, Ordering::Relaxed) + m.plan_hits;
+                snapshot.plan_misses =
+                    self.plan_misses.fetch_add(m.plan_misses, Ordering::Relaxed) + m.plan_misses;
+                snapshot.rejected = self.rejected.load(Ordering::Relaxed);
+            }
+            Err(_) => {
+                snapshot.rejected = self.rejected.fetch_add(1, Ordering::Relaxed) + 1;
+                snapshot.instances = self.instances.load(Ordering::Relaxed);
+                snapshot.dispute_rounds = self.dispute_rounds.load(Ordering::Relaxed);
+                snapshot.plan_hits = self.plan_hits.load(Ordering::Relaxed);
+                snapshot.plan_misses = self.plan_misses.load(Ordering::Relaxed);
+            }
+        }
+        snapshot
+    }
+}
+
 /// [`run_sweep`] with an externally owned plan cache, so callers (the
 /// `perf` benchmark, long-lived services sweeping many scenarios over
 /// the same topology family) can keep plans warm across sweeps. Passing
@@ -114,38 +219,87 @@ pub fn run_sweep_with_cache(
     threads: usize,
     external_cache: Option<&PlanCache>,
 ) -> Result<SweepReport, String> {
+    run_sweep_with_options(
+        spec,
+        &SweepOptions {
+            threads,
+            cache: external_cache,
+            ..SweepOptions::default()
+        },
+    )
+}
+
+/// The fully general sweep entry point: [`run_sweep_with_cache`] plus
+/// observability hooks (trace sink, progress callback). The hooks never
+/// change canonical results — the determinism proptests pin JSON
+/// byte-equality with tracing on vs. off.
+///
+/// # Errors
+///
+/// Returns the scenario validation failure, if any.
+pub fn run_sweep_with_options(
+    spec: &ScenarioSpec,
+    opts: &SweepOptions<'_>,
+) -> Result<SweepReport, String> {
     spec.validate()?;
     let private_cache = PlanCache::new();
-    let cache: Option<&PlanCache> = match external_cache {
+    let cache: Option<&PlanCache> = match opts.cache {
         Some(c) => Some(c),
         None if spec.plan_cache => Some(&private_cache),
         None => None,
     };
     let jobs = expand_jobs(spec);
-    let threads = if threads == 0 {
+    let threads = if opts.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     } else {
-        threads
+        opts.threads
     }
     .min(jobs.len())
     .max(1);
 
+    if let Some(sink) = &opts.trace {
+        // Sweep start/end events come from the coordinating thread.
+        trace::set_thread_sink(Some(Arc::clone(sink)));
+        trace::emit(EventKind::SweepStart {
+            jobs: jobs.len() as u64,
+        });
+    }
+    let progress = ProgressState::new(jobs.len());
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<JobOutcome>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
+            scope.spawn(|| {
+                if let Some(sink) = &opts.trace {
+                    trace::set_thread_sink(Some(Arc::clone(sink)));
                 }
-                let outcome = run_job(spec, &jobs[i], cache);
-                *slots[i].lock().expect("job slot poisoned") = Some(outcome);
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    trace::set_job(i as u64);
+                    trace::emit(EventKind::JobStart);
+                    let outcome = run_job(spec, &jobs[i], cache);
+                    trace::emit(EventKind::JobEnd);
+                    if let Some(callback) = opts.progress {
+                        callback(progress.account(&outcome));
+                    }
+                    *slots[i].lock().expect("job slot poisoned") = Some(outcome);
+                }
+                if opts.trace.is_some() {
+                    trace::set_thread_sink(None);
+                }
             });
         }
     });
+    if opts.trace.is_some() {
+        trace::set_job(0);
+        trace::emit(EventKind::SweepEnd);
+        trace::set_thread_sink(None);
+    }
     let outcomes: Vec<JobOutcome> = slots
         .into_iter()
         .map(|slot| {
@@ -357,7 +511,7 @@ fn measure(
         gamma1: 0,
         rho1: 0,
         bounds: None,
-        wall: PhaseWallNanos::default(),
+        latency: PhaseLatency::default(),
         wall_ns: 0,
         plan_hits,
         plan_misses,
@@ -373,6 +527,7 @@ fn measure(
 
     for inst in 0..spec.q {
         for s in 0..spec.streams {
+            trace::set_stream(s as u32);
             let input = Value::random(job.symbols, &mut input_rngs[s]);
             let rep = engines[s]
                 .run_instance(&input, faulty, advs[s].as_mut())
@@ -391,7 +546,7 @@ fn measure(
             metrics.equality_time += rep.times.equality;
             metrics.flags_time += rep.times.flags;
             metrics.dispute_time += rep.times.dispute;
-            metrics.wall.accumulate(&rep.wall);
+            metrics.latency.record_instance(&rep);
             metrics.dispute_rounds += usize::from(rep.dispute_ran);
             metrics.mismatch_instances += usize::from(rep.mismatch_detected);
             metrics.defaulted_instances += usize::from(rep.defaulted);
@@ -528,6 +683,69 @@ mod tests {
             // No disputes → the whole run is steady state.
             assert_eq!(m.steady_throughput, Some(m.throughput));
         }
+    }
+
+    #[test]
+    fn options_hooks_observe_the_sweep() {
+        use nab_obs::trace::EventKind;
+        use nab_obs::BufferSink;
+        use std::sync::Mutex;
+
+        let spec = small_spec(); // 8 jobs
+        let sink = Arc::new(BufferSink::new());
+        let snapshots: Mutex<Vec<ProgressSnapshot>> = Mutex::new(Vec::new());
+        let progress = |s: ProgressSnapshot| snapshots.lock().unwrap().push(s);
+        let opts = SweepOptions {
+            threads: 2,
+            trace: Some(sink.clone()),
+            progress: Some(&progress),
+            ..SweepOptions::default()
+        };
+        let report = run_sweep_with_options(&spec, &opts).unwrap();
+
+        // One progress callback per finished job, culminating in done == total.
+        let snaps = snapshots.into_inner().unwrap();
+        assert_eq!(snaps.len(), 8);
+        assert!(snaps.iter().any(|s| s.jobs_done == 8));
+        assert!(snaps.iter().all(|s| s.jobs_total == 8 && s.rejected == 0));
+        let instances = snaps.iter().map(|s| s.instances).max().unwrap();
+        assert_eq!(instances as usize, report.aggregate.total_instances);
+
+        // The trace stream brackets the sweep, every job, and every phase.
+        let events = sink.take_sorted();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::SweepStart { jobs: 8 }))
+                .count(),
+            1
+        );
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::SweepEnd))
+                .count(),
+            1
+        );
+        let started: BTreeSet<u64> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::JobStart))
+            .map(|e| e.job)
+            .collect();
+        assert_eq!(started.len(), 8, "every job emits JobStart");
+        let phase_starts = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::PhaseStart(_)))
+            .count();
+        let phase_ends = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::PhaseEnd(_)))
+            .count();
+        assert!(phase_starts > 0);
+        assert_eq!(phase_starts, phase_ends, "phase spans close on all paths");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::InstanceStart)));
     }
 
     #[test]

@@ -3,8 +3,11 @@
 //! byte-identical `SweepReport` JSON — run-to-run and for 1 vs. N worker
 //! threads.
 
-use nab_scenario::{parse_str, run_sweep};
+use nab_obs::trace::EventKind;
+use nab_obs::BufferSink;
+use nab_scenario::{parse_str, run_sweep, run_sweep_with_options, SweepOptions};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// Builds a random-but-valid `.scenario` document from drawn parameters.
 #[allow(clippy::too_many_arguments)]
@@ -119,6 +122,36 @@ proptest! {
         prop_assert_eq!(&reference, &rewarmed.to_json(), "pre-warmed external cache");
     }
 
+    /// Event tracing is a pure observer: installing a trace sink leaves
+    /// canonical JSON byte-identical, while the sink does capture the
+    /// sweep's event stream.
+    #[test]
+    fn tracing_is_invisible_to_canonical_json(
+        topo in 0usize..4,
+        adv in 0usize..6,
+        faults in 0usize..4,
+        q in 1usize..3,
+        symbols in 4usize..17,
+        seed0 in any::<u64>(),
+    ) {
+        let text = scenario_text(topo, adv, faults, q, symbols, 1, seed0, 1);
+        let spec = parse_str(&text).unwrap();
+        let plain = run_sweep(&spec, 2).unwrap();
+        let sink = Arc::new(BufferSink::new());
+        let opts = SweepOptions {
+            threads: 2,
+            trace: Some(sink.clone()),
+            ..SweepOptions::default()
+        };
+        let traced = run_sweep_with_options(&spec, &opts).unwrap();
+        prop_assert_eq!(plain.to_json(), traced.to_json(), "tracing on vs off");
+        let events = sink.take_sorted();
+        prop_assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::SweepStart { .. })));
+        prop_assert!(events.iter().any(|e| matches!(e.kind, EventKind::JobEnd)));
+    }
+
     /// Changing the base seed changes per-job seeds (no accidental seed
     /// collapse), while the grid shape stays fixed.
     #[test]
@@ -132,6 +165,31 @@ proptest! {
         let other_report = run_sweep(&other, 2).unwrap();
         prop_assert!(other_report.jobs[0].seed != report.jobs[0].seed);
     }
+}
+
+/// Latency-histogram aggregation is partition-invariant: the merged
+/// distributions carry identical sample *counts* for 1 vs. 4 worker
+/// threads (the nanosecond values themselves are wall-clock and vary, so
+/// only the counts — which phases ran how often — are pinned).
+#[test]
+fn latency_histogram_counts_are_thread_invariant() {
+    let text = scenario_text(0, 1, 2, 2, 8, 2, 11, 2);
+    let spec = parse_str(&text).unwrap();
+    let single = run_sweep(&spec, 1).unwrap();
+    let parallel = run_sweep(&spec, 4).unwrap();
+    for ((name, h1), (_, hn)) in single
+        .aggregate
+        .latency
+        .phases()
+        .iter()
+        .zip(parallel.aggregate.latency.phases().iter())
+    {
+        assert_eq!(h1.count(), hn.count(), "phase {name}");
+    }
+    assert!(
+        single.aggregate.latency.instance.count() as usize == single.aggregate.total_instances,
+        "every instance lands in the instance histogram"
+    );
 }
 
 /// The bundled scenario library must parse and stay thread-invariant on a

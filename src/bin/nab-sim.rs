@@ -27,15 +27,20 @@
 //!   ```
 
 use std::collections::BTreeSet;
+use std::io::IsTerminal;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 use nab_repro::nab::bounds::bounds_report;
 use nab_repro::nab::engine::{run_many, NabConfig, NabEngine};
 use nab_repro::nab::plan::PlanCache;
 use nab_repro::nab::BroadcastKind;
 use nab_repro::netgraph::DiGraph;
+use nab_repro::obs::trace::TraceSink;
+use nab_repro::obs::{writer, BufferSink};
 use nab_repro::scenario::topology::ResolveCtx;
-use nab_repro::scenario::{self, AdversarySpec, TopologyTemplate};
+use nab_repro::scenario::{self, AdversarySpec, ProgressSnapshot, SweepOptions, TopologyTemplate};
 
 const HELP: &str =
     "nab-sim — Network-Aware Byzantine broadcast simulator (Liang & Vaidya, PODC 2012)
@@ -53,10 +58,22 @@ SCENARIO MODE:
     --threads N         worker threads for the sweep (0 = one per CPU;
                         overrides the file's `threads` key)
     --json PATH         write the full sweep report as JSON (- = stdout)
-    --timings           include measured wall-clock wall_*_ns and plan-cache
-                        fields in the JSON report (requires --json; omitted
-                        by default so identical sweeps serialize
-                        byte-identically — see docs/perf.md)
+    --timings           include measured wall-clock wall_*_ns, plan-cache,
+                        latency-percentile, and metrics fields in the JSON
+                        report (requires --json; omitted by default so
+                        identical sweeps serialize byte-identically — see
+                        docs/perf.md)
+    --trace PATH        write a structured event trace of the sweep to PATH
+                        (- = stdout). Default format is JSONL: one event
+                        object per line, covering sweep/job/instance/phase
+                        spans plus plan-cache and dispute events (see
+                        docs/observability.md)
+    --trace-format FMT  jsonl (default) | chrome. chrome emits a Chrome
+                        trace_event file loadable in about:tracing or
+                        Perfetto (requires --trace)
+    --progress          live sweep progress on stderr after every finished
+                        job: jobs done/total, instances/sec, dispute
+                        rounds, plan-cache hit rate
 
 VALIDATE MODE:
     --validate FILE     parse FILE and build every grid point's network
@@ -89,12 +106,22 @@ GENERAL:
     -h, --help          show this help
 ";
 
+/// Serialization for `--trace` output.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Jsonl,
+    Chrome,
+}
+
 struct Args {
     scenario: Option<String>,
     validate: Option<String>,
     threads: Option<usize>,
     json: Option<String>,
     timings: bool,
+    trace: Option<String>,
+    trace_format: Option<TraceFormat>,
+    progress: bool,
     topology: String,
     f: usize,
     symbols: usize,
@@ -113,6 +140,9 @@ fn parse_args() -> Result<Option<Args>, String> {
         threads: None,
         json: None,
         timings: false,
+        trace: None,
+        trace_format: None,
+        progress: false,
         topology: "complete:4:2".into(),
         f: 1,
         symbols: 64,
@@ -136,7 +166,14 @@ fn parse_args() -> Result<Option<Args>, String> {
         "--broadcast",
         "--bounds",
     ];
-    const SCENARIO_ONLY: [&str; 3] = ["--threads", "--json", "--timings"];
+    const SCENARIO_ONLY: [&str; 6] = [
+        "--threads",
+        "--json",
+        "--timings",
+        "--trace",
+        "--trace-format",
+        "--progress",
+    ];
     let mut single_flags: Vec<&'static str> = Vec::new();
     let mut scenario_flags: Vec<&'static str> = Vec::new();
     let mut seen_flags: Vec<String> = Vec::new();
@@ -177,6 +214,19 @@ fn parse_args() -> Result<Option<Args>, String> {
             }
             "--json" => args.json = Some(take(&mut i)?),
             "--timings" => args.timings = true,
+            "--trace" => args.trace = Some(take(&mut i)?),
+            "--trace-format" => {
+                args.trace_format = Some(match take(&mut i)?.as_str() {
+                    "jsonl" => TraceFormat::Jsonl,
+                    "chrome" => TraceFormat::Chrome,
+                    other => {
+                        return Err(format!(
+                            "unknown trace format {other:?} (known: jsonl, chrome)"
+                        ))
+                    }
+                })
+            }
+            "--progress" => args.progress = true,
             "--topology" => args.topology = take(&mut i)?,
             "--f" => args.f = take(&mut i)?.parse().map_err(|e| format!("--f: {e}"))?,
             "--symbols" => {
@@ -327,6 +377,27 @@ fn run_validate_mode(args: &Args) -> Result<ExitCode, String> {
     })
 }
 
+/// Renders one `--progress` update. Separated from the I/O so the format
+/// stays testable in spirit: cumulative jobs, instance rate, disputes,
+/// and plan-cache hit rate.
+fn progress_line(s: &ProgressSnapshot, elapsed_secs: f64) -> String {
+    let rate = s.instances as f64 / elapsed_secs.max(1e-9);
+    let lookups = s.plan_hits + s.plan_misses;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        100.0 * s.plan_hits as f64 / lookups as f64
+    };
+    let mut line = format!(
+        "jobs {}/{} | {rate:.0} inst/s | disputes {} | cache hits {hit_rate:.0}%",
+        s.jobs_done, s.jobs_total, s.dispute_rounds
+    );
+    if s.rejected > 0 {
+        line.push_str(&format!(" | rejected {}", s.rejected));
+    }
+    line
+}
+
 fn run_scenario_mode(args: &Args) -> Result<ExitCode, String> {
     let path = args.scenario.as_deref().expect("scenario mode");
     if args.timings && args.json.is_none() {
@@ -334,6 +405,20 @@ fn run_scenario_mode(args: &Args) -> Result<ExitCode, String> {
             "--timings adds wall_*_ns fields to the JSON report; pass --json PATH (or --json -) \
              to receive it"
                 .into(),
+        );
+    }
+    if args.trace_format.is_some() && args.trace.is_none() {
+        return Err(
+            "--trace-format selects the --trace serialization; pass --trace PATH (or --trace -) \
+             to receive it"
+                .into(),
+        );
+    }
+    let json_on_stdout = args.json.as_deref() == Some("-");
+    let trace_on_stdout = args.trace.as_deref() == Some("-");
+    if json_on_stdout && trace_on_stdout {
+        return Err(
+            "--json - and --trace - both claim stdout; write at least one of them to a file".into(),
         );
     }
     let spec = scenario::load(path).map_err(|e| format!("{path}: {e}"))?;
@@ -346,10 +431,47 @@ fn run_scenario_mode(args: &Args) -> Result<ExitCode, String> {
         spec.adversary.spec_string(),
         spec.faults.spec_string(),
     );
-    let report = scenario::run_sweep(&spec, threads)?;
-    // With `--json -` stdout must carry pure JSON (pipeable to jq), so
-    // the human-readable summary moves to stderr.
-    let json_on_stdout = args.json.as_deref() == Some("-");
+    if spec.job_count() == 0 {
+        eprintln!(
+            "warning: scenario {:?} expands to an empty grid (an axis or `seeds` is 0); \
+             nothing to run",
+            spec.name
+        );
+        return Ok(ExitCode::from(2));
+    }
+
+    // Observability hooks: an in-memory trace sink drained to --trace
+    // after the sweep, and a live --progress reporter on stderr (carriage-
+    // return rewrite on a tty, one line per finished job otherwise).
+    let sink = args.trace.as_ref().map(|_| Arc::new(BufferSink::new()));
+    let started = Instant::now();
+    let stderr_tty = std::io::stderr().is_terminal();
+    let report_progress = move |s: ProgressSnapshot| {
+        let line = progress_line(&s, started.elapsed().as_secs_f64());
+        if stderr_tty {
+            eprint!("\r{line}\x1b[K");
+        } else {
+            eprintln!("{line}");
+        }
+    };
+    let opts = SweepOptions {
+        threads,
+        cache: None,
+        trace: sink.clone().map(|s| s as Arc<dyn TraceSink>),
+        progress: if args.progress {
+            Some(&report_progress)
+        } else {
+            None
+        },
+    };
+    let report = scenario::run_sweep_with_options(&spec, &opts)?;
+    if args.progress && stderr_tty {
+        eprintln!();
+    }
+    // With `--json -` (or `--trace -`) stdout must carry pure
+    // machine-readable output (pipeable to jq), so the human-readable
+    // summary moves to stderr.
+    let stdout_claimed = json_on_stdout || trace_on_stdout;
     let a = &report.aggregate;
     let summary = format!(
         "{}jobs: {} ok, {} rejected | instances: {} | mean throughput: {:.3} \
@@ -376,14 +498,27 @@ fn run_scenario_mode(args: &Args) -> Result<ExitCode, String> {
             report.to_json_pretty()
         }
     };
-    if json_on_stdout {
+    if stdout_claimed {
         eprint!("{summary}");
-        print!("{}", render(&report));
     } else {
         print!("{summary}");
-        if let Some(path) = args.json.as_deref() {
-            std::fs::write(path, render(&report))
-                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    }
+    if json_on_stdout {
+        print!("{}", render(&report));
+    } else if let Some(path) = args.json.as_deref() {
+        std::fs::write(path, render(&report)).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+    }
+    if let Some(sink) = sink {
+        let events = sink.take_sorted();
+        let rendered = match args.trace_format.unwrap_or(TraceFormat::Jsonl) {
+            TraceFormat::Jsonl => writer::to_jsonl(&events),
+            TraceFormat::Chrome => writer::to_chrome_trace(&events),
+        };
+        if trace_on_stdout {
+            print!("{rendered}");
+        } else {
+            let path = args.trace.as_deref().expect("sink implies --trace");
+            std::fs::write(path, rendered).map_err(|e| format!("cannot write {path:?}: {e}"))?;
         }
     }
     Ok(if a.all_correct && !a.dispute_budget_violated {

@@ -8,6 +8,8 @@
 //! - [`sim`] — the synchronous capacitated network simulator,
 //! - [`bb`] — classic Byzantine-broadcast primitives and baselines,
 //! - [`nab`] — the Network-Aware Byzantine broadcast algorithm itself,
+//! - [`obs`] — structured event tracing and metrics (see
+//!   `docs/observability.md`),
 //! - [`scenario`] — declarative fault/workload scenarios and the parallel
 //!   sweep runner (see `docs/scenarios.md`).
 
@@ -15,5 +17,6 @@ pub use nab;
 pub use nab_bb as bb;
 pub use nab_gf as gf;
 pub use nab_netgraph as netgraph;
+pub use nab_obs as obs;
 pub use nab_scenario as scenario;
 pub use nab_sim as sim;

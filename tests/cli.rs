@@ -428,3 +428,205 @@ fn missing_scenario_file_is_a_clear_error() {
     assert!(!out.status.success());
     assert!(stderr(&out).contains("cannot read scenario"));
 }
+
+#[test]
+fn trace_jsonl_covers_sweep_jobs_instances_and_phases() {
+    let dir = std::env::temp_dir().join("nab-sim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let scenario_path = dir.join("traced.scenario");
+    let trace_path = dir.join("traced.jsonl");
+    std::fs::write(
+        &scenario_path,
+        "name = traced\n\
+         topology = complete:$n:$cap\n\
+         adversary = corruptor\n\
+         faults = fixed:2\n\
+         q = 2\n\
+         n = 4\n\
+         cap = 2\n\
+         symbols = 8\n\
+         seeds = 2\n",
+    )
+    .unwrap();
+    let out = nab_sim(&[
+        "--scenario",
+        scenario_path.to_str().unwrap(),
+        "--threads",
+        "2",
+        "--trace",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let trace = std::fs::read_to_string(&trace_path).unwrap();
+    // Every line is one event object with the fixed key prefix.
+    for line in trace.lines() {
+        assert!(
+            line.starts_with("{\"seq\":") && line.ends_with('}'),
+            "malformed JSONL line: {line}"
+        );
+        assert!(line.contains("\"kind\":\""), "no kind: {line}");
+    }
+    // The stream covers every layer the ISSUE promises: sweep, job,
+    // instance, phase, plan cache, and (corruptor run) disputes.
+    for kind in [
+        "\"kind\":\"sweep_start\"",
+        "\"kind\":\"sweep_end\"",
+        "\"kind\":\"job_start\"",
+        "\"kind\":\"job_end\"",
+        "\"kind\":\"instance_start\"",
+        "\"kind\":\"instance_end\"",
+        "\"kind\":\"phase_start\"",
+        "\"kind\":\"phase_end\"",
+        "\"kind\":\"plan_cache_miss\"",
+        "\"kind\":\"plan_cache_hit\"",
+        "\"kind\":\"dispute_raised\"",
+        "\"kind\":\"node_exposed\"",
+    ] {
+        assert!(trace.contains(kind), "{kind} missing from trace");
+    }
+    // Phase spans close on every path.
+    assert_eq!(
+        trace.matches("\"kind\":\"phase_start\"").count(),
+        trace.matches("\"kind\":\"phase_end\"").count(),
+    );
+}
+
+#[test]
+fn trace_to_stdout_is_pure_jsonl_and_moves_summary_to_stderr() {
+    let dir = std::env::temp_dir().join("nab-sim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace-pipe.scenario");
+    std::fs::write(&path, "name = trace-pipe\nq = 1\nsymbols = 8\n").unwrap();
+    let out = nab_sim(&["--scenario", path.to_str().unwrap(), "--trace", "-"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.lines().all(|l| l.starts_with('{') && l.ends_with('}')),
+        "stdout must be pure JSONL, got: {}",
+        &text[..text.len().min(120)]
+    );
+    assert!(stderr(&out).contains("all correct"), "{}", stderr(&out));
+}
+
+#[test]
+fn trace_chrome_format_is_one_json_document_with_balanced_spans() {
+    let dir = std::env::temp_dir().join("nab-sim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("chrome.scenario");
+    std::fs::write(&path, "name = chrome\nq = 2\nsymbols = 8\nseeds = 2\n").unwrap();
+    let out = nab_sim(&[
+        "--scenario",
+        path.to_str().unwrap(),
+        "--trace",
+        "-",
+        "--trace-format",
+        "chrome",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(
+        text.starts_with("{\"traceEvents\":["),
+        "{}",
+        &text[..text.len().min(80)]
+    );
+    assert!(
+        text.trim_end().ends_with("],\"displayTimeUnit\":\"ns\"}"),
+        "unterminated trace document"
+    );
+    // Every duration span opened (ph B) is closed (ph E).
+    assert_eq!(
+        text.matches("\"ph\":\"B\"").count(),
+        text.matches("\"ph\":\"E\"").count(),
+    );
+    assert!(text.contains("\"name\":\"phase1\""), "phase spans present");
+}
+
+#[test]
+fn trace_format_without_trace_is_a_clear_error() {
+    let dir = std::env::temp_dir().join("nab-sim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fmt-only.scenario");
+    std::fs::write(&path, "name = fmt-only\nq = 1\nsymbols = 8\n").unwrap();
+    let out = nab_sim(&[
+        "--scenario",
+        path.to_str().unwrap(),
+        "--trace-format",
+        "chrome",
+    ]);
+    assert!(!out.status.success(), "--trace-format must not be ignored");
+    assert!(stderr(&out).contains("--trace"), "{}", stderr(&out));
+}
+
+#[test]
+fn trace_and_json_cannot_both_claim_stdout() {
+    let dir = std::env::temp_dir().join("nab-sim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("two-stdout.scenario");
+    std::fs::write(&path, "name = two-stdout\nq = 1\nsymbols = 8\n").unwrap();
+    let out = nab_sim(&[
+        "--scenario",
+        path.to_str().unwrap(),
+        "--trace",
+        "-",
+        "--json",
+        "-",
+    ]);
+    assert!(
+        !out.status.success(),
+        "two writers on stdout would interleave"
+    );
+    assert!(stderr(&out).contains("stdout"), "{}", stderr(&out));
+}
+
+#[test]
+fn trace_and_progress_require_scenario_mode() {
+    for flags in [["--trace", "/tmp/x"].as_slice(), ["--progress"].as_slice()] {
+        let out = nab_sim(flags);
+        assert!(!out.status.success(), "{flags:?} must not be ignored");
+        assert!(
+            stderr(&out).contains("requires --scenario"),
+            "{}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn progress_reports_every_job_on_stderr() {
+    let dir = std::env::temp_dir().join("nab-sim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("progress.scenario");
+    std::fs::write(&path, "name = progress\nq = 1\nsymbols = 8\nseeds = 4\n").unwrap();
+    let out = nab_sim(&["--scenario", path.to_str().unwrap(), "--progress"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    // Captured stderr is not a tty, so the reporter prints one line per
+    // finished job instead of rewriting in place.
+    let err = stderr(&out);
+    assert!(err.contains("jobs 4/4"), "final update missing: {err}");
+    assert!(err.contains("inst/s"), "{err}");
+    assert!(err.contains("cache hits"), "{err}");
+    assert_eq!(
+        err.matches("inst/s").count(),
+        4,
+        "one update per job: {err}"
+    );
+}
+
+#[test]
+fn empty_sweep_warns_and_exits_2() {
+    let dir = std::env::temp_dir().join("nab-sim-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("empty.scenario");
+    std::fs::write(&path, "name = empty\nq = 1\nsymbols = 8\nseeds = 0\n").unwrap();
+    let out = nab_sim(&["--scenario", path.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "an empty grid is neither success nor failure, stderr: {}",
+        stderr(&out)
+    );
+    let err = stderr(&out);
+    assert!(err.contains("warning"), "{err}");
+    assert!(err.contains("empty grid"), "{err}");
+    assert!(err.contains("nothing to run"), "{err}");
+}
