@@ -22,6 +22,7 @@ use crate::adversary::NabAdversary;
 use crate::bounds::{gamma_k, rho_k, Pair};
 use crate::dispute::{dc2_disputes, dc3_exposed, DisputeState, NodeClaims};
 use crate::equality::CodingScheme;
+use crate::netexec::{self, DeliveredTimes, NetExec, ReplayInput};
 use crate::phase1::run_phase1;
 use crate::phase2::{
     broadcast_value, honest_claims, run_equality_phase, run_flag_broadcast, BroadcastKind,
@@ -198,6 +199,10 @@ pub struct InstanceReport {
     pub newly_removed: Vec<NodeId>,
     /// Whether the fast path (source known faulty → default output) ran.
     pub defaulted: bool,
+    /// Per-phase delivered-time distributions from message-level
+    /// execution; `None` on the default formula path (or when the
+    /// instance defaulted before any message was sent).
+    pub delivered: Option<DeliveredTimes>,
 }
 
 /// The NAB protocol engine (execution layer).
@@ -214,6 +219,7 @@ pub struct NabEngine {
     disputes: DisputeState,
     instance: usize,
     broadcast: BroadcastKind,
+    net: Option<NetExec>,
 }
 
 impl NabEngine {
@@ -249,7 +255,23 @@ impl NabEngine {
             disputes: DisputeState::new(),
             instance: 0,
             broadcast: BroadcastKind::default(),
+            net: None,
         })
+    }
+
+    /// Switches the engine to message-level execution: phase durations
+    /// and delivered-time distributions come from replaying the exact
+    /// send sets through the `nab-net` event kernel under the given
+    /// link models. `None` (the default) restores the formula path.
+    /// Protocol outputs and dispute evolution are identical either way
+    /// — only timing differs.
+    pub fn set_net(&mut self, net: Option<NetExec>) {
+        self.net = net;
+    }
+
+    /// The message-level execution config, if enabled.
+    pub fn net(&self) -> Option<&NetExec> {
+        self.net.as_ref()
     }
 
     /// The shared planning artifact this engine executes against.
@@ -370,6 +392,7 @@ impl NabEngine {
                 new_pairs: Vec::new(),
                 newly_removed: Vec::new(),
                 defaulted: true,
+                delivered: None,
             });
         }
 
@@ -407,6 +430,24 @@ impl NabEngine {
         // Special case 2: at least f nodes excluded → everyone left is
         // fault-free; Phase 1 alone is reliable.
         if self.disputes.removed.len() >= self.cfg.f {
+            let mut delivered = None;
+            if let Some(nx) = &self.net {
+                let (net_times, d) = netexec::replay_instance(
+                    nx,
+                    self.instance as u64,
+                    &ReplayInput {
+                        gk,
+                        g0: plan.graph(),
+                        trees,
+                        p1_sends: &p1.sends,
+                        eq_sends: None,
+                        flag_rounds: &[],
+                        dispute_rounds: &[],
+                    },
+                );
+                times = net_times;
+                delivered = Some(d);
+            }
             return Ok(InstanceReport {
                 outputs: p1.values,
                 times,
@@ -418,6 +459,7 @@ impl NabEngine {
                 new_pairs: Vec::new(),
                 newly_removed: Vec::new(),
                 defaulted: false,
+                delivered,
             });
         }
 
@@ -456,6 +498,7 @@ impl NabEngine {
             faulty,
             adv,
             self.broadcast,
+            self.net.is_some(),
         );
         times.flags = flags.duration;
         wall.flags = t0.elapsed().as_nanos() as u64;
@@ -470,6 +513,24 @@ impl NabEngine {
         let mismatch = flags.any_mismatch(observer);
 
         if !mismatch {
+            let mut delivered = None;
+            if let Some(nx) = &self.net {
+                let (net_times, d) = netexec::replay_instance(
+                    nx,
+                    self.instance as u64,
+                    &ReplayInput {
+                        gk,
+                        g0: plan.graph(),
+                        trees,
+                        p1_sends: &p1.sends,
+                        eq_sends: Some(&eq.sends),
+                        flag_rounds: &flags.rounds,
+                        dispute_rounds: &[],
+                    },
+                );
+                times = net_times;
+                delivered = Some(d);
+            }
             return Ok(InstanceReport {
                 outputs: p1.values,
                 times,
@@ -481,6 +542,7 @@ impl NabEngine {
                 new_pairs: Vec::new(),
                 newly_removed: Vec::new(),
                 defaulted: false,
+                delivered,
             });
         }
 
@@ -510,7 +572,7 @@ impl NabEngine {
         // Broadcast every node's claims with the classic BB protocol and
         // charge the (large) communication time.
         let mut net: NetSim<Routed<NodeClaims>> = NetSim::new(plan.graph().clone());
-        net.set_record_transcript(false);
+        net.set_record_transcript(self.net.is_some());
         let mut agreed_claims: BTreeMap<NodeId, NodeClaims> = BTreeMap::new();
         for &b in &participants {
             let dec = {
@@ -554,6 +616,26 @@ impl NabEngine {
         wall.dispute = t0.elapsed().as_nanos() as u64;
         drop(dispute_span);
 
+        let mut delivered = None;
+        if let Some(nx) = &self.net {
+            let dispute_rounds = netexec::transcript_rounds(net.transcript());
+            let (net_times, d) = netexec::replay_instance(
+                nx,
+                self.instance as u64,
+                &ReplayInput {
+                    gk,
+                    g0: plan.graph(),
+                    trees,
+                    p1_sends: &p1.sends,
+                    eq_sends: Some(&eq.sends),
+                    flag_rounds: &flags.rounds,
+                    dispute_rounds: &dispute_rounds,
+                },
+            );
+            times = net_times;
+            delivered = Some(d);
+        }
+
         Ok(InstanceReport {
             outputs,
             times,
@@ -565,6 +647,7 @@ impl NabEngine {
             new_pairs,
             newly_removed,
             defaulted: false,
+            delivered,
         })
     }
 }
@@ -938,6 +1021,89 @@ mod tests {
                 assert_eq!(*out, Value::zeros(8));
             }
         }
+    }
+
+    #[test]
+    fn message_level_zero_model_matches_formula() {
+        // The pinned cross-check: with zero-latency lossless links the
+        // event-driven path must reproduce the synchronous formula
+        // charges to within integer-nanosecond rounding (UNIT_NS ns per
+        // time unit → sub-microsecond absolute error), on the clean
+        // fast path and through a full dispute round alike.
+        let x = input(12);
+        type MkAdv = fn() -> Box<dyn NabAdversary>;
+        let cases: [(BTreeSet<NodeId>, MkAdv); 2] = [
+            (BTreeSet::new(), || Box::new(HonestStrategy)),
+            (BTreeSet::from([2]), || Box::new(TruthfulCorruptor)),
+        ];
+        for (faulty, mk_adv) in cases {
+            let mut formula = engine(12);
+            let mut event = engine(12);
+            event.set_net(Some(crate::netexec::NetExec {
+                model: nab_net::NetModel::default(),
+                seed: 99,
+            }));
+            for _ in 0..3 {
+                let a = formula
+                    .run_instance(&x, &faulty, mk_adv().as_mut())
+                    .unwrap();
+                let b = event.run_instance(&x, &faulty, mk_adv().as_mut()).unwrap();
+                assert_eq!(a.outputs, b.outputs, "net mode must not change outputs");
+                assert_eq!(a.dispute_ran, b.dispute_ran);
+                assert!(a.delivered.is_none());
+                for (fa, fb, phase) in [
+                    (a.times.phase1, b.times.phase1, "phase1"),
+                    (a.times.equality, b.times.equality, "equality"),
+                    (a.times.flags, b.times.flags, "flags"),
+                    (a.times.dispute, b.times.dispute, "dispute"),
+                ] {
+                    assert!(
+                        (fa - fb).abs() < 5e-3,
+                        "{phase}: formula {fa} vs message-level {fb}"
+                    );
+                }
+                assert!((a.times.total() - b.times.total()).abs() < 5e-3);
+                if !b.defaulted {
+                    let d = b.delivered.as_ref().expect("net mode records deliveries");
+                    assert!(d.phase1.count() > 0);
+                    assert_eq!(d.instance.count(), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn message_level_latency_slows_instances_deterministically() {
+        let x = input(12);
+        let model = nab_net::NetSpec::parse("uniform:1000000:500000+loss:0.2:2:2000000")
+            .unwrap()
+            .build();
+        let run = |seed: u64| {
+            let mut e = engine(12);
+            e.set_net(Some(crate::netexec::NetExec {
+                model: model.clone(),
+                seed,
+            }));
+            e.run_instance(&x, &BTreeSet::new(), &mut HonestStrategy)
+                .unwrap()
+        };
+        let base = {
+            let mut e = engine(12);
+            e.run_instance(&x, &BTreeSet::new(), &mut HonestStrategy)
+                .unwrap()
+        };
+        let a = run(5);
+        // Latency and loss can only push completion later.
+        assert!(a.times.total() > base.times.total());
+        for v in a.outputs.values() {
+            assert_eq!(*v, x, "timing must not affect outputs");
+        }
+        // Same seed → identical timings; different seed → different jitter.
+        let b = run(5);
+        assert_eq!(a.times, b.times);
+        assert_eq!(a.delivered, b.delivered);
+        let c = run(6);
+        assert_ne!(a.delivered, c.delivered);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod bounds;
 pub mod dispute;
 pub mod engine;
 pub mod equality;
+pub mod netexec;
 pub mod phase1;
 pub mod phase2;
 pub mod pipeline;
@@ -62,6 +63,7 @@ pub mod theory;
 pub mod value;
 
 pub use engine::{InstanceReport, NabConfig, NabEngine, NabError};
+pub use netexec::{DeliveredTimes, NetExec};
 pub use phase2::BroadcastKind;
 pub use plan::{ExecutionPlan, PlanCache, PlanCacheStats, PlanFetch, PlanKey};
 pub use value::Value;

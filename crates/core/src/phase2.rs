@@ -150,6 +150,9 @@ pub struct FlagOutcome {
     pub decisions: BTreeMap<NodeId, BTreeMap<NodeId, bool>>,
     /// Wall-clock duration of all flag broadcasts.
     pub duration: f64,
+    /// Per-round send lists `(src, dst, bits)`, recorded only when the
+    /// caller asked for them (message-level replay); empty otherwise.
+    pub rounds: Vec<Vec<(NodeId, NodeId, u64)>>,
 }
 
 impl FlagOutcome {
@@ -181,9 +184,10 @@ pub fn run_flag_broadcast(
     faulty: &BTreeSet<NodeId>,
     adv: &mut dyn NabAdversary,
     kind: BroadcastKind,
+    record_rounds: bool,
 ) -> FlagOutcome {
     let mut net: NetSim<Routed<u64>> = NetSim::new(g0.clone());
-    net.set_record_transcript(false);
+    net.set_record_transcript(record_rounds);
 
     let mut announced = BTreeMap::new();
     let mut decisions = BTreeMap::new();
@@ -219,6 +223,7 @@ pub fn run_flag_broadcast(
         announced,
         decisions,
         duration: net.clock(),
+        rounds: crate::netexec::transcript_rounds(net.transcript()),
     }
 }
 
@@ -369,6 +374,7 @@ mod tests {
             &BTreeSet::new(),
             &mut HonestStrategy,
             BroadcastKind::Eig,
+            false,
         );
         for &b in &participants {
             for &o in &participants {
@@ -395,6 +401,7 @@ mod tests {
             &faulty,
             &mut FalseAlarm,
             BroadcastKind::Eig,
+            false,
         );
         // All honest observers see node 3's MISMATCH announcement.
         for o in [0, 1, 2] {

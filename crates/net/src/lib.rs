@@ -1,0 +1,700 @@
+//! Deterministic discrete-event network timing kernel.
+//!
+//! The synchronous engine in `nab` charges phases by formula
+//! (`max_e bits_e / cap_e` per round); this crate replays the same
+//! message sets through an *event-driven* link model so that sweeps can
+//! report delivered-time **distributions** under WAN latency, jitter,
+//! stragglers, and lossy links — not just steady-state rates.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Determinism.** Every sampled quantity (jitter, loss) is derived
+//!    by hash-mixing `(seed, link, per-link attempt counter)` — never
+//!    from wall-clock or from a shared RNG consumed in pop order. Two
+//!    runs with the same seed and the same *multiset* of scheduled
+//!    messages produce the same delivery schedule, regardless of the
+//!    order in which messages were inserted or which worker thread runs
+//!    the simulation.
+//! 2. **Reproducible tie-breaking.** The event queue is a binary heap
+//!    keyed by `(time_ns, src, dst, bits, id, seq)`: simultaneous
+//!    events pop in a canonical content order, with the insertion
+//!    sequence number only breaking ties between fully identical
+//!    (hence interchangeable) messages.
+//! 3. **Formula compatibility.** With the zero model ([`LinkModel::zero`];
+//!    zero latency, no loss) the completion time of a batch of messages
+//!    on a link equals `total_bits / cap` — identical to the synchronous
+//!    round charge, so the message-level path cross-checks against the
+//!    formula path to within integer-nanosecond rounding.
+//!
+//! Times are in virtual nanoseconds; [`UNIT_NS`] nanoseconds equal one
+//! abstract capacity time-unit (the time a `cap = 1` link needs for one
+//! bit), which is the unit the formula path reports.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use nab_netgraph::{DiGraph, NodeId};
+
+/// Virtual nanoseconds per abstract capacity time-unit (one bit on a
+/// `cap = 1` link). Event times divided by `UNIT_NS` are in the same
+/// unit as the formula path's `PhaseTimes`.
+pub const UNIT_NS: u64 = 1_000_000;
+
+/// SplitMix64-style mixer; same constants as the sweep runner's per-job
+/// seed derivation, so net randomness composes with the existing
+/// seed-mixing discipline.
+#[must_use]
+pub fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a mixed 64-bit draw onto the unit interval `[0, 1)`.
+fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Propagation-delay model of one directed link.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Latency {
+    /// Constant propagation delay.
+    Fixed {
+        /// Delay in virtual nanoseconds.
+        delay_ns: u64,
+    },
+    /// `base + U[0, jitter]` uniform jitter.
+    Uniform {
+        /// Minimum delay in virtual nanoseconds.
+        base_ns: u64,
+        /// Width of the uniform jitter band in virtual nanoseconds.
+        jitter_ns: u64,
+    },
+    /// Log-normal delay: `median · exp(sigma · z)` with `z` standard
+    /// normal (clamped to `[-4, 4]` to bound the tail).
+    LogNormal {
+        /// Median delay in virtual nanoseconds.
+        median_ns: u64,
+        /// Shape parameter σ of the underlying normal.
+        sigma: f64,
+    },
+}
+
+impl Latency {
+    /// Samples a delay from `draw` (a mixed 64-bit value).
+    #[must_use]
+    pub fn sample_ns(&self, draw: u64) -> u64 {
+        match *self {
+            Latency::Fixed { delay_ns } => delay_ns,
+            Latency::Uniform { base_ns, jitter_ns } => {
+                base_ns + (unit_f64(draw) * jitter_ns as f64).round() as u64
+            }
+            Latency::LogNormal { median_ns, sigma } => {
+                // Box-Muller from two sub-draws of the same 64-bit seed.
+                let u1 = unit_f64(mix(draw, 1)).max(f64::MIN_POSITIVE);
+                let u2 = unit_f64(mix(draw, 2));
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let z = z.clamp(-4.0, 4.0);
+                (median_ns as f64 * (sigma * z).exp()).round() as u64
+            }
+        }
+    }
+
+    /// Scales every delay parameter by `factor` (straggler links).
+    #[must_use]
+    pub fn scaled(&self, factor: u64) -> Latency {
+        match *self {
+            Latency::Fixed { delay_ns } => Latency::Fixed {
+                delay_ns: delay_ns * factor,
+            },
+            Latency::Uniform { base_ns, jitter_ns } => Latency::Uniform {
+                base_ns: base_ns * factor,
+                jitter_ns: jitter_ns * factor,
+            },
+            Latency::LogNormal { median_ns, sigma } => Latency::LogNormal {
+                median_ns: median_ns * factor,
+                sigma,
+            },
+        }
+    }
+}
+
+/// I.i.d. per-attempt loss with bounded retransmit.
+///
+/// A lost attempt occupies the link for its full serialization time,
+/// then the sender retransmits `rto_ns` later. After `max_retries`
+/// failed attempts the final attempt always succeeds: links here model
+/// *degraded timing*, not Byzantine drops — the protocol's correctness
+/// argument assumes reliable links, so loss shifts delivered-time
+/// distributions rightward without ever losing a message. This is also
+/// what guarantees the simulation terminates for every seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loss {
+    /// Per-attempt loss probability in `[0, 1]`.
+    pub p: f64,
+    /// Failed attempts allowed before the reliable final attempt.
+    pub max_retries: u32,
+    /// Retransmit timeout in virtual nanoseconds.
+    pub rto_ns: u64,
+}
+
+/// Full per-link model: propagation delay plus optional loss.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkModel {
+    /// Propagation-delay model.
+    pub latency: Latency,
+    /// Loss model; `None` means a lossless link.
+    pub loss: Option<Loss>,
+}
+
+impl LinkModel {
+    /// Zero latency, no loss: event timing degenerates to the
+    /// synchronous formula charge.
+    #[must_use]
+    pub fn zero() -> Self {
+        LinkModel {
+            latency: Latency::Fixed { delay_ns: 0 },
+            loss: None,
+        }
+    }
+}
+
+/// Link models for a whole network: a default plus per-link overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetModel {
+    /// Model for every link without an override.
+    pub default: LinkModel,
+    /// Per-directed-link overrides.
+    pub overrides: BTreeMap<(NodeId, NodeId), LinkModel>,
+}
+
+impl NetModel {
+    /// A uniform model for every link.
+    #[must_use]
+    pub fn uniform(link: LinkModel) -> Self {
+        NetModel {
+            default: link,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// The model governing the directed link `src → dst`.
+    #[must_use]
+    pub fn link(&self, src: NodeId, dst: NodeId) -> &LinkModel {
+        self.overrides.get(&(src, dst)).unwrap_or(&self.default)
+    }
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel::uniform(LinkModel::zero())
+    }
+}
+
+/// One completed delivery, as reported by [`EventNet::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// Caller-assigned message id (e.g. arborescence index).
+    pub id: u64,
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Message size in bits.
+    pub bits: u64,
+    /// Time the message was scheduled.
+    pub sent_ns: u64,
+    /// Time the last bit arrived at `dst`.
+    pub delivered_ns: u64,
+    /// Transmission attempts taken (1 = no loss).
+    pub attempts: u32,
+}
+
+/// A pending transmission attempt in the event queue.
+///
+/// Derived `Ord` gives the canonical pop order
+/// `(time, src, dst, bits, id, seq, attempt)`: content keys first, the
+/// insertion sequence number only separating otherwise-identical
+/// (interchangeable) messages, so the delivery *schedule* is invariant
+/// under insertion-order permutations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Attempt {
+    time_ns: u64,
+    src: NodeId,
+    dst: NodeId,
+    bits: u64,
+    id: u64,
+    seq: u64,
+    attempt: u32,
+}
+
+/// Deterministic discrete-event simulator over one capacitated graph.
+///
+/// [`schedule`](EventNet::schedule) enqueues messages;
+/// [`run`](EventNet::run) drains the event heap, applying FIFO link
+/// serialization (`bits / cap`, virtual-ns), sampled propagation delay,
+/// and bounded retransmit on loss, and returns the deliveries. Per-node
+/// virtual clocks track the last delivery seen by each node.
+#[derive(Debug, Clone)]
+pub struct EventNet {
+    caps: BTreeMap<(NodeId, NodeId), u64>,
+    model: NetModel,
+    seed: u64,
+    heap: BinaryHeap<Reverse<Attempt>>,
+    seq: u64,
+    link_busy: BTreeMap<(NodeId, NodeId), u64>,
+    link_draws: BTreeMap<(NodeId, NodeId), u64>,
+    node_clock: BTreeMap<NodeId, u64>,
+    clock_ns: u64,
+}
+
+impl EventNet {
+    /// A simulator over `g`'s links (parallel edges pool their
+    /// capacity) under `model`, with all randomness derived from
+    /// `seed`.
+    #[must_use]
+    pub fn new(g: &DiGraph, model: NetModel, seed: u64) -> Self {
+        let mut caps = BTreeMap::new();
+        for (_, e) in g.edges() {
+            *caps.entry((e.src, e.dst)).or_insert(0) += e.cap;
+        }
+        EventNet {
+            caps,
+            model,
+            seed,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            link_busy: BTreeMap::new(),
+            link_draws: BTreeMap::new(),
+            node_clock: BTreeMap::new(),
+            clock_ns: 0,
+        }
+    }
+
+    /// Enqueues a message of `bits` bits on `src → dst` at `at_ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no `src → dst` link — scheduling on a
+    /// missing link is a protocol-layer bug, mirroring
+    /// `nab_sim::SendError::NoSuchLink`.
+    pub fn schedule(&mut self, id: u64, src: NodeId, dst: NodeId, bits: u64, at_ns: u64) {
+        assert!(
+            self.caps.contains_key(&(src, dst)),
+            "EventNet::schedule: no such link {src} -> {dst}"
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Attempt {
+            time_ns: at_ns,
+            src,
+            dst,
+            bits,
+            id,
+            seq,
+            attempt: 1,
+        }));
+    }
+
+    /// Next 64-bit draw for link `(src, dst)`: mixed from the seed, the
+    /// link identity, and a per-link counter advanced in that link's
+    /// deterministic pop order.
+    fn draw(&mut self, src: NodeId, dst: NodeId) -> u64 {
+        let counter = self.link_draws.entry((src, dst)).or_insert(0);
+        let c = *counter;
+        *counter += 1;
+        let link_key = ((src as u64) << 32) ^ dst as u64;
+        mix(mix(self.seed, link_key), c)
+    }
+
+    /// Drains the event queue, returning every delivery sorted by
+    /// `(delivered_ns, src, dst, id)`.
+    pub fn run(&mut self) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            let cap = self.caps[&(ev.src, ev.dst)];
+            let busy = self.link_busy.entry((ev.src, ev.dst)).or_insert(0);
+            let start = ev.time_ns.max(*busy);
+            let tx_end = start + (ev.bits * UNIT_NS).div_ceil(cap);
+            *busy = tx_end;
+
+            let link = self.model.link(ev.src, ev.dst).clone();
+            if let Some(loss) = &link.loss {
+                if ev.attempt <= loss.max_retries && unit_f64(self.draw(ev.src, ev.dst)) < loss.p {
+                    let seq = self.seq;
+                    self.seq += 1;
+                    self.heap.push(Reverse(Attempt {
+                        time_ns: tx_end + loss.rto_ns,
+                        attempt: ev.attempt + 1,
+                        seq,
+                        ..ev
+                    }));
+                    continue;
+                }
+            }
+            let lat = link.latency.sample_ns(self.draw(ev.src, ev.dst));
+            let delivered_ns = tx_end + lat;
+            let clock = self.node_clock.entry(ev.dst).or_insert(0);
+            *clock = (*clock).max(delivered_ns);
+            self.clock_ns = self.clock_ns.max(delivered_ns);
+            out.push(Delivery {
+                id: ev.id,
+                src: ev.src,
+                dst: ev.dst,
+                bits: ev.bits,
+                sent_ns: ev.time_ns,
+                delivered_ns,
+                attempts: ev.attempt,
+            });
+        }
+        out.sort_by_key(|d| (d.delivered_ns, d.src, d.dst, d.id));
+        out
+    }
+
+    /// The virtual clock of `v`: the time of the last delivery it has
+    /// received (0 if none yet).
+    #[must_use]
+    pub fn node_clock(&self, v: NodeId) -> u64 {
+        self.node_clock.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Global virtual clock: the latest delivery so far.
+    #[must_use]
+    pub fn clock_ns(&self) -> u64 {
+        self.clock_ns
+    }
+}
+
+/// Textual link-model spec, as written in a `.scenario` document's
+/// `link_model` key. Grammar (all times in virtual nanoseconds;
+/// [`UNIT_NS`] ns = one capacity time-unit):
+///
+/// ```text
+/// link_model = <latency>[+loss:P:RETRIES:RTO][+straggler:SRC:DST:FACTOR]
+/// <latency>  = fixed:DELAY | uniform:BASE:JITTER | lognormal:MEDIAN:SIGMA
+/// ```
+///
+/// `straggler` multiplies the latency parameters of the single directed
+/// link `SRC → DST` by `FACTOR`, leaving every other link on the
+/// default model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetSpec {
+    /// Default latency model for every link.
+    pub latency: Latency,
+    /// Optional loss model applied to every link.
+    pub loss: Option<Loss>,
+    /// Optional straggler override: `(src, dst, latency factor)`.
+    pub straggler: Option<(NodeId, NodeId, u64)>,
+}
+
+impl Default for NetSpec {
+    fn default() -> Self {
+        NetSpec {
+            latency: Latency::Fixed { delay_ns: 0 },
+            loss: None,
+            straggler: None,
+        }
+    }
+}
+
+impl NetSpec {
+    /// Parses a spec string like
+    /// `uniform:1000000:250000+loss:0.01:3:2000000`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed clause.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut out = NetSpec::default();
+        let mut clauses = spec.split('+');
+        let latency = clauses.next().unwrap_or("");
+        let parts: Vec<&str> = latency.split(':').collect();
+        out.latency = match (parts[0], parts.len()) {
+            ("fixed", 2) => Latency::Fixed {
+                delay_ns: parse_u64("fixed delay", parts[1])?,
+            },
+            ("uniform", 3) => Latency::Uniform {
+                base_ns: parse_u64("uniform base", parts[1])?,
+                jitter_ns: parse_u64("uniform jitter", parts[2])?,
+            },
+            ("lognormal", 3) => {
+                let sigma = parse_f64("lognormal sigma", parts[2])?;
+                if !(0.0..=4.0).contains(&sigma) {
+                    return Err(format!("link_model: lognormal sigma {sigma} outside [0,4]"));
+                }
+                Latency::LogNormal {
+                    median_ns: parse_u64("lognormal median", parts[1])?,
+                    sigma,
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "link_model: unknown latency {latency:?} (known: fixed:DELAY_NS, \
+                     uniform:BASE_NS:JITTER_NS, lognormal:MEDIAN_NS:SIGMA)"
+                ))
+            }
+        };
+        for clause in clauses {
+            let parts: Vec<&str> = clause.split(':').collect();
+            match (parts[0], parts.len()) {
+                ("loss", 4) => {
+                    let p = parse_f64("loss probability", parts[1])?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("link_model: loss probability {p} outside [0,1]"));
+                    }
+                    let max_retries = parse_u64("loss retries", parts[2])? as u32;
+                    if max_retries > 16 {
+                        return Err("link_model: loss retries capped at 16".into());
+                    }
+                    out.loss = Some(Loss {
+                        p,
+                        max_retries,
+                        rto_ns: parse_u64("loss rto", parts[3])?,
+                    });
+                }
+                ("straggler", 4) => {
+                    let factor = parse_u64("straggler factor", parts[3])?;
+                    if factor == 0 {
+                        return Err("link_model: straggler factor must be >= 1".into());
+                    }
+                    out.straggler = Some((
+                        parse_u64("straggler src", parts[1])? as NodeId,
+                        parse_u64("straggler dst", parts[2])? as NodeId,
+                        factor,
+                    ));
+                }
+                _ => {
+                    return Err(format!(
+                        "link_model: unknown clause {clause:?} (known: loss:P:RETRIES:RTO_NS, \
+                         straggler:SRC:DST:FACTOR)"
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The canonical spec string this parses back from.
+    #[must_use]
+    pub fn spec_string(&self) -> String {
+        let mut s = match &self.latency {
+            Latency::Fixed { delay_ns } => format!("fixed:{delay_ns}"),
+            Latency::Uniform { base_ns, jitter_ns } => format!("uniform:{base_ns}:{jitter_ns}"),
+            Latency::LogNormal { median_ns, sigma } => format!("lognormal:{median_ns}:{sigma}"),
+        };
+        if let Some(loss) = &self.loss {
+            s.push_str(&format!(
+                "+loss:{}:{}:{}",
+                loss.p, loss.max_retries, loss.rto_ns
+            ));
+        }
+        if let Some((src, dst, factor)) = self.straggler {
+            s.push_str(&format!("+straggler:{src}:{dst}:{factor}"));
+        }
+        s
+    }
+
+    /// Resolves the spec into a concrete [`NetModel`].
+    #[must_use]
+    pub fn build(&self) -> NetModel {
+        let default = LinkModel {
+            latency: self.latency.clone(),
+            loss: self.loss.clone(),
+        };
+        let mut model = NetModel::uniform(default.clone());
+        if let Some((src, dst, factor)) = self.straggler {
+            model.overrides.insert(
+                (src, dst),
+                LinkModel {
+                    latency: default.latency.scaled(factor),
+                    loss: default.loss,
+                },
+            );
+        }
+        model
+    }
+}
+
+fn parse_u64(what: &str, raw: &str) -> Result<u64, String> {
+    raw.parse()
+        .map_err(|_| format!("link_model: bad {what} {raw:?}"))
+}
+
+fn parse_f64(what: &str, raw: &str) -> Result<f64, String> {
+    raw.parse()
+        .map_err(|_| format!("link_model: bad {what} {raw:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: usize, cap: u64) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for v in 0..n - 1 {
+            g.add_edge(v, v + 1, cap);
+            g.add_edge(v + 1, v, cap);
+        }
+        g
+    }
+
+    #[test]
+    fn zero_model_matches_formula_charge() {
+        // Three messages totalling 12 bits on a cap-2 link: the last
+        // completes at 12/2 = 6 units, exactly the round formula.
+        let g = line(2, 2);
+        let mut net = EventNet::new(&g, NetModel::default(), 7);
+        net.schedule(0, 0, 1, 4, 0);
+        net.schedule(1, 0, 1, 4, 0);
+        net.schedule(2, 0, 1, 4, 0);
+        let deliveries = net.run();
+        assert_eq!(deliveries.len(), 3);
+        assert_eq!(deliveries.last().unwrap().delivered_ns, 6 * UNIT_NS);
+        assert_eq!(net.clock_ns(), 6 * UNIT_NS);
+        assert_eq!(net.node_clock(1), 6 * UNIT_NS);
+        assert_eq!(net.node_clock(0), 0);
+    }
+
+    #[test]
+    fn fixed_latency_shifts_every_delivery() {
+        let g = line(2, 1);
+        let model = NetModel::uniform(LinkModel {
+            latency: Latency::Fixed { delay_ns: 500 },
+            loss: None,
+        });
+        let mut net = EventNet::new(&g, model, 7);
+        net.schedule(0, 0, 1, 2, 0);
+        let d = net.run();
+        assert_eq!(d[0].delivered_ns, 2 * UNIT_NS + 500);
+    }
+
+    #[test]
+    fn ties_pop_in_canonical_content_order() {
+        // Two same-time messages on the same link: the smaller id
+        // serializes first regardless of insertion order.
+        let g = line(2, 1);
+        for flip in [false, true] {
+            let mut net = EventNet::new(&g, NetModel::default(), 7);
+            let ids: [u64; 2] = if flip { [1, 0] } else { [0, 1] };
+            for id in ids {
+                net.schedule(id, 0, 1, 1, 0);
+            }
+            let d = net.run();
+            assert_eq!((d[0].id, d[0].delivered_ns), (0, UNIT_NS));
+            assert_eq!((d[1].id, d[1].delivered_ns), (1, 2 * UNIT_NS));
+        }
+    }
+
+    #[test]
+    fn loss_retransmits_are_bounded_and_terminate() {
+        let g = line(2, 1);
+        let model = NetModel::uniform(LinkModel {
+            latency: Latency::Fixed { delay_ns: 0 },
+            loss: Some(Loss {
+                p: 1.0,
+                max_retries: 3,
+                rto_ns: 10,
+            }),
+        });
+        let mut net = EventNet::new(&g, model, 7);
+        net.schedule(0, 0, 1, 1, 0);
+        let d = net.run();
+        assert_eq!(d.len(), 1, "the reliable final attempt always delivers");
+        assert_eq!(d[0].attempts, 4);
+        // 4 serializations of 1 unit each + 3 RTOs of 10 ns.
+        assert_eq!(d[0].delivered_ns, 4 * UNIT_NS + 30);
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let g = line(3, 2);
+        let model = NetModel::uniform(LinkModel {
+            latency: Latency::Uniform {
+                base_ns: 100,
+                jitter_ns: 400,
+            },
+            loss: Some(Loss {
+                p: 0.3,
+                max_retries: 2,
+                rto_ns: 50,
+            }),
+        });
+        let run = |seed| {
+            let mut net = EventNet::new(&g, model.clone(), seed);
+            for (id, (s, t)) in [(0, 1), (1, 2), (1, 0), (2, 1)].iter().enumerate() {
+                net.schedule(id as u64, *s, *t, 3, 0);
+            }
+            net.run()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12), "seed feeds through to the schedule");
+    }
+
+    #[test]
+    fn lognormal_sampling_is_deterministic_and_positive() {
+        let lat = Latency::LogNormal {
+            median_ns: 1_000_000,
+            sigma: 0.5,
+        };
+        let a = lat.sample_ns(mix(1, 2));
+        assert_eq!(a, lat.sample_ns(mix(1, 2)));
+        // σ·z clamped to [-2, 2]: within e^±2 of the median.
+        assert!(
+            (135_335..=7_389_057).contains(&a),
+            "sample {a} out of range"
+        );
+    }
+
+    #[test]
+    fn straggler_override_scales_one_link() {
+        let spec = NetSpec::parse("fixed:100+straggler:0:1:20").unwrap();
+        let model = spec.build();
+        assert_eq!(model.link(0, 1).latency, Latency::Fixed { delay_ns: 2000 });
+        assert_eq!(model.link(1, 0).latency, Latency::Fixed { delay_ns: 100 });
+    }
+
+    #[test]
+    fn spec_string_roundtrips() {
+        for s in [
+            "fixed:0",
+            "fixed:1000000",
+            "uniform:1000000:250000",
+            "lognormal:2000000:0.5",
+            "fixed:100000+loss:0.05:3:400000",
+            "uniform:10:20+loss:0.5:2:30+straggler:0:1:16",
+        ] {
+            let spec = NetSpec::parse(s).unwrap();
+            assert_eq!(spec.spec_string(), s);
+            assert_eq!(NetSpec::parse(&spec.spec_string()).unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn spec_parse_rejects_malformed_clauses() {
+        for bad in [
+            "",
+            "fixed",
+            "fixed:abc",
+            "gaussian:5",
+            "uniform:1",
+            "lognormal:10:9.0",
+            "fixed:1+loss:2.0:1:1",
+            "fixed:1+loss:0.5:99:1",
+            "fixed:1+straggler:0:1:0",
+            "fixed:1+warp:9",
+        ] {
+            assert!(NetSpec::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn schedule_panics_on_missing_link() {
+        let g = line(3, 1);
+        let mut net = EventNet::new(&g, NetModel::default(), 1);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.schedule(0, 0, 2, 1, 0);
+        }));
+        assert!(err.is_err());
+    }
+}

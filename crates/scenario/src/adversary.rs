@@ -5,6 +5,7 @@ use nab::adversary::{
     EqualityGarbler, EquivocatingSource, FalseAlarm, FramingCollusion, HonestStrategy,
     LyingCorruptor, NabAdversary, RandomStrategy, TruthfulCorruptor,
 };
+use nab_gf::Gf2_16;
 use nab_netgraph::NodeId;
 
 /// A declarative adversary strategy.
@@ -34,6 +35,43 @@ pub enum AdversarySpec {
         /// The faulty node that corrupts Phase 1.
         corruptor: NodeId,
     },
+    /// Chaos-testing hook: the adversary **panics** the first time a
+    /// faulty node acts. Not a protocol attack — it exists to exercise
+    /// the sweep runner's per-job panic isolation (a panicking job must
+    /// become a job-level error, never take down the sweep).
+    ChaosPanic,
+}
+
+/// The live strategy behind [`AdversarySpec::ChaosPanic`].
+struct PanicInjector;
+
+impl NabAdversary for PanicInjector {
+    fn phase1_source_block(
+        &mut self,
+        tree: usize,
+        child: NodeId,
+        _honest: &[Gf2_16],
+    ) -> Vec<Gf2_16> {
+        panic!("chaos-panic adversary fired (source block, tree {tree}, child {child})");
+    }
+
+    fn phase1_forward(
+        &mut self,
+        node: NodeId,
+        tree: usize,
+        _child: NodeId,
+        _honest: &[Gf2_16],
+    ) -> Vec<Gf2_16> {
+        panic!("chaos-panic adversary fired (forward, node {node}, tree {tree})");
+    }
+
+    fn equality_symbols(&mut self, src: NodeId, _dst: NodeId, _honest: &[Gf2_16]) -> Vec<Gf2_16> {
+        panic!("chaos-panic adversary fired (equality, node {src})");
+    }
+
+    fn flag(&mut self, node: NodeId, _honest: bool) -> bool {
+        panic!("chaos-panic adversary fired (flag, node {node})");
+    }
 }
 
 impl AdversarySpec {
@@ -72,9 +110,10 @@ impl AdversarySpec {
                     corruptor,
                 })
             }
+            "chaos-panic" if parts.len() == 1 => Ok(AdversarySpec::ChaosPanic),
             other => Err(format!(
                 "unknown adversary {other:?} (known: honest, corruptor, liar, false-alarm, \
-                 equivocate, garbler, random:P, collude:SCAPEGOAT:CORRUPTOR)"
+                 equivocate, garbler, random:P, collude:SCAPEGOAT:CORRUPTOR, chaos-panic)"
             )),
         }
     }
@@ -93,6 +132,7 @@ impl AdversarySpec {
                 scapegoat,
                 corruptor,
             } => format!("collude:{scapegoat}:{corruptor}"),
+            AdversarySpec::ChaosPanic => "chaos-panic".into(),
         }
     }
 
@@ -159,6 +199,7 @@ impl AdversarySpec {
                 scapegoat: *scapegoat,
                 corruptor: *corruptor,
             }),
+            AdversarySpec::ChaosPanic => Box::new(PanicInjector),
         }
     }
 }
@@ -178,6 +219,7 @@ mod tests {
             "garbler",
             "random:0.25",
             "collude:3:2",
+            "chaos-panic",
         ] {
             let a = AdversarySpec::parse(s).unwrap();
             assert_eq!(a.spec_string(), s);

@@ -122,13 +122,17 @@ pub fn parse_str(text: &str) -> Result<ScenarioSpec, ParseError> {
             "bounds_budget" => spec.bounds_budget = parse_num(lineno, key, value)?,
             "threads" => spec.threads = parse_num(lineno, key, value)?,
             "plan_cache" => spec.plan_cache = parse_bool(lineno, key, value)?,
+            "link_model" => {
+                spec.link_model = nab_net::NetSpec::parse(value).map_err(|e| err(lineno, e))?
+            }
+            "net" => spec.net = parse_bool(lineno, key, value)?,
             other => {
                 return Err(err(
                     lineno,
                     format!(
                         "unknown key {other:?} (known: name, topology, broadcast, adversary, \
                          faults, q, streams, n, cap, f, symbols, seeds, seed0, bounds, \
-                         bounds_budget, threads, plan_cache)"
+                         bounds_budget, threads, plan_cache, link_model, net)"
                     ),
                 ))
             }
@@ -196,7 +200,7 @@ pub fn to_scenario_string(spec: &ScenarioSpec) -> String {
         "name = {}\ntopology = {}\nbroadcast = {}\nadversary = {}\nfaults = {}\n\
          q = {}\nstreams = {}\nn = {}\ncap = {}\nf = {}\nsymbols = {}\n\
          seeds = {}\nseed0 = {}\nbounds = {}\nbounds_budget = {}\nthreads = {}\n\
-         plan_cache = {}\n",
+         plan_cache = {}\nlink_model = {}\nnet = {}\n",
         spec.name,
         spec.topology.spec_string(),
         broadcast,
@@ -214,6 +218,8 @@ pub fn to_scenario_string(spec: &ScenarioSpec) -> String {
         spec.bounds_budget,
         spec.threads,
         spec.plan_cache,
+        spec.link_model.spec_string(),
+        spec.net,
     )
 }
 

@@ -15,6 +15,7 @@
 //!   values vary.
 
 use nab::engine::InstanceReport;
+use nab::DeliveredTimes;
 use nab_netgraph::NodeId;
 use nab_obs::{Histogram, Registry};
 
@@ -157,6 +158,11 @@ pub struct JobMetrics {
     /// instances (measured, not simulated; excluded from canonical JSON).
     /// The per-phase sums back the legacy `wall_*_ns` keys.
     pub latency: PhaseLatency,
+    /// Per-phase **delivered-time** distributions (virtual nanoseconds)
+    /// from message-level execution, merged over the job's instances.
+    /// `Some` only when the scenario ran with `net = on`; rendered in
+    /// timed JSON alongside the wall-clock latency block.
+    pub delivered: Option<DeliveredTimes>,
     /// Total measured wall-clock nanoseconds for the job's measurement
     /// loop (includes engine setup and input generation).
     pub wall_ns: u64,
@@ -247,6 +253,9 @@ pub struct Aggregate {
     /// (timed JSON only; the merge is partition-invariant, so this is
     /// identical for any worker-thread count).
     pub latency: PhaseLatency,
+    /// Delivered-time distributions merged over all measured jobs that
+    /// ran message-level (`None` when no job did).
+    pub delivered: Option<DeliveredTimes>,
 }
 
 impl Aggregate {
@@ -273,6 +282,7 @@ impl Aggregate {
             plan_misses: 0,
             plan_build_ns: 0,
             latency: PhaseLatency::default(),
+            delivered: None,
         };
         let mut throughput_sum = 0.0;
         for outcome in outcomes {
@@ -299,6 +309,11 @@ impl Aggregate {
                     agg.plan_misses += m.plan_misses;
                     agg.plan_build_ns += m.plan_build_ns;
                     agg.latency.merge(&m.latency);
+                    if let Some(d) = &m.delivered {
+                        agg.delivered
+                            .get_or_insert_with(DeliveredTimes::default)
+                            .merge(d);
+                    }
                 }
                 Err(_) => agg.rejected_jobs += 1,
             }
@@ -547,27 +562,46 @@ fn metrics_json(m: &JobMetrics, with_timings: bool) -> Json {
         pairs.push(("plan_cache_misses", Json::U64(m.plan_misses)));
         pairs.push(("plan_build_ns", Json::U64(m.plan_build_ns)));
         pairs.push(("latency", latency_json(&m.latency)));
+        if let Some(d) = &m.delivered {
+            pairs.push(("delivered", delivered_json(d)));
+        }
     }
     Json::obj(pairs)
 }
 
 /// Histogram summary in the fixed timed-JSON schema: exact count/sum and
-/// min/max plus the log2-bucket percentile estimates.
+/// min/max plus the log2-bucket percentile estimates. An empty histogram
+/// (a phase that never ran) renders zeroed exact stats and **omits** the
+/// percentile keys — percentiles of nothing are meaningless, and `min`
+/// must never surface the internal `u64::MAX` sentinel.
 fn histogram_json(h: &Histogram) -> Json {
-    Json::obj(vec![
+    let mut pairs = vec![
         ("count", Json::U64(h.count())),
         ("sum_ns", Json::U64(h.sum())),
         ("min_ns", Json::U64(h.min())),
         ("max_ns", Json::U64(h.max())),
-        ("p50_ns", Json::U64(h.percentile(50.0))),
-        ("p90_ns", Json::U64(h.percentile(90.0))),
-        ("p99_ns", Json::U64(h.percentile(99.0))),
-    ])
+    ];
+    if h.count() > 0 {
+        pairs.push(("p50_ns", Json::U64(h.percentile(50.0))));
+        pairs.push(("p90_ns", Json::U64(h.percentile(90.0))));
+        pairs.push(("p99_ns", Json::U64(h.percentile(99.0))));
+    }
+    Json::obj(pairs)
 }
 
 fn latency_json(latency: &PhaseLatency) -> Json {
     Json::obj(
         latency
+            .phases()
+            .into_iter()
+            .map(|(name, h)| (name, histogram_json(h)))
+            .collect(),
+    )
+}
+
+fn delivered_json(delivered: &DeliveredTimes) -> Json {
+    Json::obj(
+        delivered
             .phases()
             .into_iter()
             .map(|(name, h)| (name, histogram_json(h)))
@@ -625,6 +659,9 @@ fn aggregate_json(a: &Aggregate, with_timings: bool) -> Json {
         pairs.push(("plan_cache_misses", Json::U64(a.plan_misses)));
         pairs.push(("plan_build_ns", Json::U64(a.plan_build_ns)));
         pairs.push(("latency", latency_json(&a.latency)));
+        if let Some(d) = &a.delivered {
+            pairs.push(("delivered", delivered_json(d)));
+        }
     }
     Json::obj(pairs)
 }
@@ -669,6 +706,7 @@ mod tests {
             rho1: 4,
             bounds: None,
             latency: latency(),
+            delivered: None,
             wall_ns: 200,
             plan_hits: 1,
             plan_misses: 1,
@@ -779,6 +817,7 @@ mod tests {
         assert!(!canonical.contains("wall_"), "{canonical}");
         assert!(!canonical.contains("plan_"), "{canonical}");
         assert!(!canonical.contains("latency"), "{canonical}");
+        assert!(!canonical.contains("delivered"), "{canonical}");
         assert!(
             !canonical.contains("\"metrics\":{\"counters\""),
             "{canonical}"
@@ -816,6 +855,65 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_serializes_zeroed_without_percentiles() {
+        // A phase that never ran must not leak the internal u64::MAX
+        // min sentinel or fabricate percentiles from zero samples.
+        let empty = histogram_json(&Histogram::new()).render();
+        assert_eq!(
+            empty,
+            "{\"count\":0,\"sum_ns\":0,\"min_ns\":0,\"max_ns\":0}"
+        );
+        assert!(!empty.contains("18446744073709551615"));
+        assert!(!empty.contains("p50_ns"));
+        // One sample brings the percentile keys back.
+        let mut h = Histogram::new();
+        h.record(7);
+        let one = histogram_json(&h).render();
+        assert!(one.contains("\"min_ns\":7"), "{one}");
+        assert!(one.contains("\"p99_ns\":7"), "{one}");
+        // The timed report renders the never-run dispute phase that way.
+        let report = SweepReport {
+            scenario: "t".into(),
+            topology: "complete:$n:$cap".into(),
+            adversary: "honest".into(),
+            faults: "none".into(),
+            jobs: vec![outcome(0, Ok(metrics()))],
+            aggregate: Aggregate::from_outcomes(&[outcome(0, Ok(metrics()))]),
+        };
+        let timed = report.to_json_timed();
+        assert!(
+            timed.contains("\"dispute\":{\"count\":0,\"sum_ns\":0,\"min_ns\":0,\"max_ns\":0}"),
+            "{timed}"
+        );
+        assert!(!timed.contains("18446744073709551615"), "{timed}");
+    }
+
+    #[test]
+    fn delivered_times_appear_in_timed_json_only() {
+        let mut m = metrics();
+        let mut d = DeliveredTimes::default();
+        d.phase1.record(1_000);
+        d.instance.record(1_000);
+        m.delivered = Some(d);
+        let report = SweepReport {
+            scenario: "net".into(),
+            topology: "complete:$n:$cap".into(),
+            adversary: "honest".into(),
+            faults: "none".into(),
+            jobs: vec![outcome(0, Ok(m.clone()))],
+            aggregate: Aggregate::from_outcomes(&[outcome(0, Ok(m))]),
+        };
+        assert!(!report.to_json().contains("delivered"));
+        let timed = report.to_json_timed();
+        assert!(
+            timed.contains("\"delivered\":{\"phase1\":{\"count\":1,\"sum_ns\":1000"),
+            "{timed}"
+        );
+        // The aggregate block carries the merged distributions too.
+        assert_eq!(timed.matches("\"delivered\":{").count(), 2, "{timed}");
+    }
+
+    #[test]
     fn phase_latency_records_only_phases_that_ran() {
         use nab::engine::{PhaseTimes, PhaseWallNanos};
         use std::collections::BTreeMap;
@@ -835,6 +933,7 @@ mod tests {
             new_pairs: Vec::new(),
             newly_removed: Vec::new(),
             defaulted,
+            delivered: None,
         };
         let mut lat = PhaseLatency::default();
         lat.record_instance(&rep(false, 4, true)); // full instance

@@ -58,6 +58,16 @@ pub struct ScenarioSpec {
     /// benchmarking and for the determinism tests that pin the
     /// equivalence).
     pub plan_cache: bool,
+    /// Per-link latency/jitter/loss models used when message-level
+    /// execution is on (see [`ScenarioSpec::net`]). The default is the
+    /// zero model (zero latency, lossless), under which message-level
+    /// timing matches the formula path within rounding.
+    pub link_model: nab_net::NetSpec,
+    /// Whether jobs execute message-level over the `nab-net` event
+    /// kernel (phase durations and delivered-time histograms come from
+    /// messages in flight) instead of the synchronous formula charges.
+    /// Off by default; the CLI `--net` flag switches it on.
+    pub net: bool,
 }
 
 impl Default for ScenarioSpec {
@@ -83,6 +93,8 @@ impl Default for ScenarioSpec {
             bounds_budget: 1 << 14,
             threads: 0,
             plan_cache: true,
+            link_model: nab_net::NetSpec::default(),
+            net: false,
         }
     }
 }
@@ -177,6 +189,18 @@ impl ScenarioSpec {
     /// Enables or disables plan sharing through the `PlanCache`.
     pub fn with_plan_cache(mut self, on: bool) -> Self {
         self.plan_cache = on;
+        self
+    }
+
+    /// Sets the link models for message-level execution.
+    pub fn with_link_model(mut self, m: nab_net::NetSpec) -> Self {
+        self.link_model = m;
+        self
+    }
+
+    /// Enables or disables message-level (event-driven) execution.
+    pub fn with_net(mut self, on: bool) -> Self {
+        self.net = on;
         self
     }
 

@@ -282,12 +282,21 @@ pub fn run_sweep_with_options(
                     }
                     trace::set_job(i as u64);
                     trace::emit(EventKind::JobStart);
-                    let outcome = run_job(spec, &jobs[i], cache);
+                    // A panicking job (an engine bug, a chaos-panic
+                    // adversary) becomes a job-level error: the worker
+                    // survives, the remaining jobs still run, and the
+                    // report records what happened. Without this, one
+                    // panic poisoned every job slot behind it and the
+                    // final assembly aborted the whole process.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        run_job(spec, &jobs[i], cache)
+                    }))
+                    .unwrap_or_else(|payload| panicked_outcome(&jobs[i], payload.as_ref()));
                     trace::emit(EventKind::JobEnd);
                     if let Some(callback) = opts.progress {
                         callback(progress.account(&outcome));
                     }
-                    *slots[i].lock().expect("job slot poisoned") = Some(outcome);
+                    *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
                 }
                 if opts.trace.is_some() {
                     trace::set_thread_sink(None);
@@ -304,7 +313,7 @@ pub fn run_sweep_with_options(
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("job slot poisoned")
+                .unwrap_or_else(|e| e.into_inner())
                 .expect("worker loop covered every job")
         })
         .collect();
@@ -318,6 +327,31 @@ pub fn run_sweep_with_options(
         jobs: outcomes,
         aggregate,
     })
+}
+
+/// Builds the outcome recorded for a job whose measurement panicked:
+/// the panic payload (a `&str` or `String` for every `panic!` with a
+/// message) becomes the job-level error string.
+fn panicked_outcome(job: &Job, payload: &(dyn std::any::Any + Send)) -> JobOutcome {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into());
+    JobOutcome {
+        index: job.index,
+        n: job.n,
+        cap: job.cap,
+        f: job.f,
+        symbols: job.symbols,
+        seed_index: job.seed_index,
+        seed: job.seed,
+        faulty: Vec::new(),
+        candidates_tried: 0,
+        candidates_failed: 0,
+        candidate_error: None,
+        result: Err(format!("job panicked: {msg}")),
+    }
 }
 
 /// Runs one job: materializes its graph, resolves the fault placement
@@ -479,6 +513,15 @@ fn measure(
         let mut engine =
             NabEngine::from_plan(plan, cfg).map_err(|e| format!("network rejected: {e}"))?;
         engine.set_broadcast_kind(spec.broadcast);
+        if spec.net {
+            // Each stream samples its own jitter/loss stream, derived
+            // from the job seed exactly like its adversary and input
+            // RNGs — never from wall-clock.
+            engine.set_net(Some(nab::NetExec {
+                model: spec.link_model.build(),
+                seed: mix(job.seed, 0x7E7u64 ^ s),
+            }));
+        }
         engines.push(engine);
         advs.push(spec.adversary.build(mix(job.seed, 0x0ADu64 ^ s)));
         input_rngs.push(StdRng::seed_from_u64(mix(job.seed, 0x1A7u64 ^ s)));
@@ -512,6 +555,7 @@ fn measure(
         rho1: 0,
         bounds: None,
         latency: PhaseLatency::default(),
+        delivered: spec.net.then(nab::DeliveredTimes::default),
         wall_ns: 0,
         plan_hits,
         plan_misses,
@@ -547,6 +591,9 @@ fn measure(
             metrics.flags_time += rep.times.flags;
             metrics.dispute_time += rep.times.dispute;
             metrics.latency.record_instance(&rep);
+            if let (Some(acc), Some(d)) = (metrics.delivered.as_mut(), rep.delivered.as_ref()) {
+                acc.merge(d);
+            }
             metrics.dispute_rounds += usize::from(rep.dispute_ran);
             metrics.mismatch_instances += usize::from(rep.mismatch_detected);
             metrics.defaulted_instances += usize::from(rep.defaulted);
@@ -896,6 +943,85 @@ mod tests {
         let m = report.jobs[0].result.as_ref().unwrap();
         assert_eq!(m.instances, 6);
         assert_eq!(m.total_bits, 6 * 8 * 16);
+    }
+
+    #[test]
+    fn panicking_jobs_become_job_errors_not_process_aborts() {
+        // Every job's adversary panics mid-instance (faulty node 2 acts
+        // in every Phase 1). The sweep must finish all 8 jobs, record
+        // each panic as a job-level error, and keep the report sound.
+        let spec = small_spec()
+            .with_adversary(AdversarySpec::ChaosPanic)
+            .with_faults(FaultSchedule::Fixed(std::collections::BTreeSet::from([2])));
+        let report = run_sweep(&spec, 2).unwrap();
+        assert_eq!(report.jobs.len(), 8);
+        assert_eq!(report.aggregate.rejected_jobs, 8);
+        for job in &report.jobs {
+            let err = job.result.as_ref().unwrap_err();
+            assert!(err.contains("job panicked"), "{err}");
+            assert!(err.contains("chaos-panic"), "{err}");
+        }
+    }
+
+    #[test]
+    fn net_zero_model_matches_formula_and_carries_delivered_times() {
+        let base = small_spec().with_n(vec![4]).with_cap(vec![2]).with_seeds(1);
+        let off = run_sweep(&base, 1).unwrap();
+        let zero = run_sweep(&base.clone().with_net(true), 1).unwrap();
+        let m_off = off.jobs[0].result.as_ref().unwrap();
+        let m_zero = zero.jobs[0].result.as_ref().unwrap();
+        // Zero-latency lossless links: message-level time equals the
+        // formula charge within per-message rounding.
+        assert!(
+            (m_off.total_time - m_zero.total_time).abs() < 1e-2,
+            "{} vs {}",
+            m_off.total_time,
+            m_zero.total_time
+        );
+        assert!(m_off.delivered.is_none(), "formula path records nothing");
+        let d = m_zero.delivered.as_ref().expect("net mode records");
+        assert_eq!(d.instance.count() as usize, m_zero.instances);
+        assert!(m_zero.all_correct);
+    }
+
+    #[test]
+    fn net_latency_slows_jobs_without_changing_outcomes() {
+        let base = small_spec()
+            .with_n(vec![4])
+            .with_cap(vec![2])
+            .with_seeds(1)
+            .with_adversary(AdversarySpec::Corruptor)
+            .with_faults(FaultSchedule::Fixed(std::collections::BTreeSet::from([2])))
+            .with_q(3);
+        let off = run_sweep(&base, 1).unwrap();
+        let spec = base.with_net(true).with_link_model(
+            nab_net::NetSpec::parse("uniform:1000000:500000+loss:0.2:2:2000000").unwrap(),
+        );
+        let on = run_sweep(&spec, 1).unwrap();
+        let m_off = off.jobs[0].result.as_ref().unwrap();
+        let m_on = on.jobs[0].result.as_ref().unwrap();
+        // Latency strictly slows simulated time but never perturbs the
+        // protocol: same dispute history, same exposures, same validity.
+        assert!(m_on.total_time > m_off.total_time);
+        assert!(m_on.throughput < m_off.throughput);
+        assert_eq!(m_on.removed, m_off.removed);
+        assert_eq!(m_on.dispute_rounds, m_off.dispute_rounds);
+        assert!(m_on.all_correct);
+        assert!(m_on.delivered.as_ref().unwrap().phase1.count() > 0);
+    }
+
+    #[test]
+    fn net_mode_is_thread_invariant() {
+        let spec = small_spec()
+            .with_adversary(AdversarySpec::Corruptor)
+            .with_faults(FaultSchedule::Rotating { count: 1 })
+            .with_net(true)
+            .with_link_model(
+                nab_net::NetSpec::parse("lognormal:1000000:0.5+loss:0.1:2:2000000").unwrap(),
+            );
+        let a = run_sweep(&spec, 1).unwrap();
+        let b = run_sweep(&spec, 4).unwrap();
+        assert_eq!(a.to_json(), b.to_json());
     }
 
     #[test]

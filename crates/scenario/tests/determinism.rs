@@ -152,6 +152,40 @@ proptest! {
         prop_assert!(events.iter().any(|e| matches!(e.kind, EventKind::JobEnd)));
     }
 
+    /// Message-level (`net = on`) execution keeps both halves of the
+    /// determinism contract: with net **off** the file's `link_model` is
+    /// completely inert (canonical JSON byte-identical to a spec that
+    /// never mentions it), and with net **on** the sweep is byte-identical
+    /// run-to-run and for 1 vs. 4 worker threads.
+    #[test]
+    fn net_mode_preserves_determinism(
+        topo in 0usize..4,
+        adv in 0usize..6,
+        faults in 0usize..4,
+        q in 1usize..3,
+        symbols in 4usize..17,
+        seed0 in any::<u64>(),
+        model in 0usize..3,
+    ) {
+        let text = scenario_text(topo, adv, faults, q, symbols, 1, seed0, 1);
+        let mut spec = parse_str(&text).unwrap();
+        let base = run_sweep(&spec, 2).unwrap();
+        spec.link_model = nab_net::NetSpec::parse([
+            "fixed:3000000",
+            "uniform:2000000:1000000+loss:0.2:2:4000000",
+            "lognormal:5000000:1.5+straggler:0:1:10",
+        ][model]).unwrap();
+        let off = run_sweep(&spec, 2).unwrap();
+        prop_assert_eq!(base.to_json(), off.to_json(), "net off: link_model is inert");
+
+        spec.net = true;
+        let single = run_sweep(&spec, 1).unwrap();
+        let again = run_sweep(&spec, 1).unwrap();
+        let parallel = run_sweep(&spec, 4).unwrap();
+        prop_assert_eq!(single.to_json(), again.to_json(), "net on: run-to-run");
+        prop_assert_eq!(single.to_json(), parallel.to_json(), "net on: 1 vs 4 threads");
+    }
+
     /// Changing the base seed changes per-job seeds (no accidental seed
     /// collapse), while the grid shape stays fixed.
     #[test]
@@ -190,6 +224,23 @@ fn latency_histogram_counts_are_thread_invariant() {
         single.aggregate.latency.instance.count() as usize == single.aggregate.total_instances,
         "every instance lands in the instance histogram"
     );
+}
+
+/// Delivered-time histograms (net mode) are *fully* thread-invariant —
+/// they record simulated nanoseconds, not wall clock, so the whole
+/// distributions (not just counts) must match across worker counts.
+#[test]
+fn delivered_histograms_are_thread_invariant() {
+    let text = scenario_text(0, 1, 2, 2, 8, 2, 11, 2);
+    let mut spec = parse_str(&text).unwrap();
+    spec.net = true;
+    spec.link_model = nab_net::NetSpec::parse("uniform:1000000:500000+loss:0.1:2:2000000").unwrap();
+    let single = run_sweep(&spec, 1).unwrap();
+    let parallel = run_sweep(&spec, 4).unwrap();
+    let d1 = single.aggregate.delivered.as_ref().expect("net on records");
+    let dn = parallel.aggregate.delivered.as_ref().unwrap();
+    assert_eq!(d1, dn, "identical distributions, not just counts");
+    assert!(d1.instance.count() > 0);
 }
 
 /// The bundled scenario library must parse and stay thread-invariant on a

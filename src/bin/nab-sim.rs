@@ -57,6 +57,11 @@ SCENARIO MODE:
     --scenario FILE     run a .scenario file (see docs/scenarios.md)
     --threads N         worker threads for the sweep (0 = one per CPU;
                         overrides the file's `threads` key)
+    --net               execute message-level over the nab-net event
+                        kernel: phase durations come from simulated
+                        latency/jitter/loss on every link (the file's
+                        `link_model` key; see docs/network-sim.md).
+                        Overrides the file's `net` key to on
     --json PATH         write the full sweep report as JSON (- = stdout)
     --timings           include measured wall-clock wall_*_ns, plan-cache,
                         latency-percentile, and metrics fields in the JSON
@@ -122,6 +127,7 @@ struct Args {
     trace: Option<String>,
     trace_format: Option<TraceFormat>,
     progress: bool,
+    net: bool,
     topology: String,
     f: usize,
     symbols: usize,
@@ -143,6 +149,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         trace: None,
         trace_format: None,
         progress: false,
+        net: false,
         topology: "complete:4:2".into(),
         f: 1,
         symbols: 64,
@@ -166,13 +173,14 @@ fn parse_args() -> Result<Option<Args>, String> {
         "--broadcast",
         "--bounds",
     ];
-    const SCENARIO_ONLY: [&str; 6] = [
+    const SCENARIO_ONLY: [&str; 7] = [
         "--threads",
         "--json",
         "--timings",
         "--trace",
         "--trace-format",
         "--progress",
+        "--net",
     ];
     let mut single_flags: Vec<&'static str> = Vec::new();
     let mut scenario_flags: Vec<&'static str> = Vec::new();
@@ -227,6 +235,7 @@ fn parse_args() -> Result<Option<Args>, String> {
                 })
             }
             "--progress" => args.progress = true,
+            "--net" => args.net = true,
             "--topology" => args.topology = take(&mut i)?,
             "--f" => args.f = take(&mut i)?.parse().map_err(|e| format!("--f: {e}"))?,
             "--symbols" => {
@@ -421,15 +430,23 @@ fn run_scenario_mode(args: &Args) -> Result<ExitCode, String> {
             "--json - and --trace - both claim stdout; write at least one of them to a file".into(),
         );
     }
-    let spec = scenario::load(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut spec = scenario::load(path).map_err(|e| format!("{path}: {e}"))?;
+    if args.net {
+        spec.net = true;
+    }
     let threads = args.threads.unwrap_or(spec.threads);
     eprintln!(
-        "scenario {:?}: {} jobs (topology {}, adversary {}, faults {})",
+        "scenario {:?}: {} jobs (topology {}, adversary {}, faults {}{})",
         spec.name,
         spec.job_count(),
         spec.topology.spec_string(),
         spec.adversary.spec_string(),
         spec.faults.spec_string(),
+        if spec.net {
+            format!(", net {}", spec.link_model.spec_string())
+        } else {
+            String::new()
+        },
     );
     if spec.job_count() == 0 {
         eprintln!(

@@ -8,6 +8,8 @@
 //! - [`sim`] — the synchronous capacitated network simulator,
 //! - [`bb`] — classic Byzantine-broadcast primitives and baselines,
 //! - [`nab`] — the Network-Aware Byzantine broadcast algorithm itself,
+//! - [`net`] — the deterministic discrete-event network kernel
+//!   (latency/jitter/loss link models; see `docs/network-sim.md`),
 //! - [`obs`] — structured event tracing and metrics (see
 //!   `docs/observability.md`),
 //! - [`scenario`] — declarative fault/workload scenarios and the parallel
@@ -16,6 +18,7 @@
 pub use nab;
 pub use nab_bb as bb;
 pub use nab_gf as gf;
+pub use nab_net as net;
 pub use nab_netgraph as netgraph;
 pub use nab_obs as obs;
 pub use nab_scenario as scenario;
