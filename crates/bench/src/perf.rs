@@ -19,7 +19,8 @@ use nab_gf::bytes::{self, ByteMatrix};
 use nab_gf::kernel::{self, scalar_mul_row_add, FastOps};
 use nab_gf::linalg;
 use nab_gf::matrix::Matrix;
-use nab_gf::{Field, Gf256, Gf2_16};
+use nab_gf::words::WordMatrix;
+use nab_gf::{simd, Field, Gf256, Gf2_16};
 use nab_netgraph::gen;
 use nab_scenario::json::Json;
 use nab_scenario::{parse_str, PhaseLatency, SweepReport};
@@ -32,7 +33,16 @@ use rand::SeedableRng;
 /// v3: per-phase latency-distribution `percentiles` section, plus the
 /// `latency` histograms and `metrics` registry inside the embedded timed
 /// sweep report (see `docs/observability.md`).
-pub const SCHEMA_VERSION: u64 = 3;
+/// v4: top-level `tier`/`cpu` kernel metadata (the detected arch-SIMD
+/// tier and CPU features), batched-op cases (`mul_row_add_batch`,
+/// `encode_batch`, `check_batch`, word-slab `mat_mul`) with SIMD tier
+/// names, and min-of-[`MIN_REPS`] timing per case.
+pub const SCHEMA_VERSION: u64 = 4;
+
+/// Repetitions of every timed loop; the reported `total_ns` is the
+/// **minimum** over these (min-of-N filters scheduler and frequency
+/// noise, so committed baselines diff stably across regenerations).
+pub const MIN_REPS: u32 = 5;
 
 /// The bundled scenario the sweep benchmark runs (the E3 complete-graph
 /// grid), embedded so the `perf` binary works from any directory.
@@ -53,9 +63,10 @@ pub struct GfCase {
     /// Problem size: row length for row kernels, matrix dimension for
     /// `mat_mul`/`invert`/`solve`, symbol count for `encode`.
     pub n: u64,
-    /// Timed iterations (after one warmup iteration).
+    /// Timed iterations per repetition (after one warmup iteration).
     pub iters: u64,
-    /// Total measured nanoseconds over all iterations.
+    /// Minimum total nanoseconds over [`MIN_REPS`] repetitions of the
+    /// `iters`-iteration loop.
     pub total_ns: u64,
 }
 
@@ -66,14 +77,19 @@ impl GfCase {
     }
 }
 
-/// Times `iters` iterations of `f` after one warmup call.
+/// Times `iters` iterations of `f`, repeated [`MIN_REPS`] times after one
+/// warmup call, and returns the minimum repetition total (min-of-N).
 fn time<R>(iters: u64, mut f: impl FnMut() -> R) -> u64 {
     black_box(f());
-    let t0 = Instant::now();
-    for _ in 0..iters {
-        black_box(f());
+    let mut best = u64::MAX;
+    for _ in 0..MIN_REPS {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(t0.elapsed().as_nanos() as u64);
     }
-    t0.elapsed().as_nanos() as u64
+    best
 }
 
 fn case<R>(
@@ -89,6 +105,23 @@ fn case<R>(
         n,
         iters,
         total_ns: time(iters, f),
+    }
+}
+
+/// The tier label a `FastOps` row call actually takes for rows of `len`
+/// elements: the detected arch-SIMD kernel when one exists and the row
+/// clears the dispatch threshold, otherwise the table-tier `fallback`.
+/// Labels are static so `GfCase` stays `&'static str` throughout.
+fn row_tier(field: &str, len: usize, fallback: &'static str) -> &'static str {
+    if len < simd::SIMD_THRESHOLD {
+        return fallback;
+    }
+    match (field, simd::tier()) {
+        ("gf256", "avx2") => "gf256/simd-avx2",
+        ("gf256", "ssse3") => "gf256/simd-ssse3",
+        ("gf2_16", "avx2") => "gf2_16/simd-avx2",
+        ("gf2_16", "ssse3") => "gf2_16/simd-ssse3",
+        _ => fallback,
     }
 }
 
@@ -112,26 +145,23 @@ pub fn run_gf_bench(quick: bool) -> Vec<GfCase> {
     };
     for &len in row_lens {
         let iters = row_iters(len);
+        // `bytes::mul_row_add` and `<Gf256 as FastOps>::mul_row_add` are
+        // the same dispatched kernel (FastOps reinterprets and forwards),
+        // so one case covers both entry points. FastOps dispatches on row
+        // length and the detected SIMD tier: label the tier that actually
+        // runs, so BENCH_gf.json attributes timings to the right kernel.
         let src8: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
         let mut dst8: Vec<u8> = (0..len).map(|i| (i * 17 + 3) as u8).collect();
         cases.push(case(
             "mul_row_add",
-            "gf256/bytes",
+            row_tier("gf256", len, "gf256/bytes"),
             len as u64,
             iters,
             || bytes::mul_row_add(&mut dst8, &src8, 0x57),
         ));
 
         let srcf: Vec<Gf256> = src8.iter().map(|&x| Gf256(x)).collect();
-        let mut dstf: Vec<Gf256> = (0..len).map(|i| Gf256((i * 13 + 1) as u8)).collect();
-        cases.push(case(
-            "mul_row_add",
-            "gf256/table256",
-            len as u64,
-            iters,
-            || <Gf256 as FastOps>::mul_row_add(&mut dstf, &srcf, Gf256(0x57)),
-        ));
-        let mut dsts = dstf.clone();
+        let mut dsts: Vec<Gf256> = (0..len).map(|i| Gf256((i * 13 + 1) as u8)).collect();
         cases.push(case(
             "mul_row_add",
             "gf256/scalar",
@@ -146,13 +176,12 @@ pub fn run_gf_bench(quick: bool) -> Vec<GfCase> {
         let mut dst16: Vec<Gf2_16> = (0..len)
             .map(|i| Gf2_16::from_u64(i as u64 * 41 + 5))
             .collect();
-        // FastOps dispatches on row length: label the tier that actually
-        // runs, so BENCH_gf.json attributes timings to the right kernel.
-        let gf2_16_tier = if len >= kernel::GF2_16_SPLIT_THRESHOLD {
+        let table_tier = if len >= kernel::GF2_16_SPLIT_THRESHOLD {
             "gf2_16/split-table16"
         } else {
             "gf2_16/log16"
         };
+        let gf2_16_tier = row_tier("gf2_16", len, table_tier);
         cases.push(case("mul_row_add", gf2_16_tier, len as u64, iters, || {
             <Gf2_16 as FastOps>::mul_row_add(&mut dst16, &src16, Gf2_16(0xABCD))
         }));
@@ -163,6 +192,42 @@ pub fn run_gf_bench(quick: bool) -> Vec<GfCase> {
             len as u64,
             iters,
             || scalar_mul_row_add(&mut dst16s, &src16, Gf2_16(0xABCD)),
+        ));
+
+        // Batched fused multiply-add: one destination accumulating many
+        // scaled sources (the blocked-mat_mul inner shape).
+        let nsrcs = 8usize;
+        let batch_srcs: Vec<Vec<Gf2_16>> = (0..nsrcs)
+            .map(|r| {
+                (0..len)
+                    .map(|i| Gf2_16::from_u64((i * 97 + r * 13 + 1) as u64))
+                    .collect()
+            })
+            .collect();
+        let batch_refs: Vec<&[Gf2_16]> = batch_srcs.iter().map(|v| v.as_slice()).collect();
+        let batch_scalars: Vec<Gf2_16> = (0..nsrcs)
+            .map(|r| Gf2_16::from_u64(r as u64 * 0x1234 + 2))
+            .collect();
+        let batch_iters = iters / nsrcs as u64 + 1;
+        let mut dstb = dst16.clone();
+        cases.push(case(
+            "mul_row_add_batch",
+            gf2_16_tier,
+            len as u64,
+            batch_iters,
+            || <Gf2_16 as FastOps>::mul_row_add_batch(&mut dstb, &batch_refs, &batch_scalars),
+        ));
+        let mut dstbs = dst16.clone();
+        cases.push(case(
+            "mul_row_add_batch",
+            "gf2_16/scalar",
+            len as u64,
+            batch_iters,
+            || {
+                for (src, &s) in batch_refs.iter().zip(&batch_scalars) {
+                    scalar_mul_row_add(&mut dstbs, src, s);
+                }
+            },
         ));
     }
 
@@ -183,6 +248,11 @@ pub fn run_gf_bench(quick: bool) -> Vec<GfCase> {
         let b = Matrix::<Gf2_16>::random(n, n, &mut rng);
         cases.push(case("mat_mul", "gf2_16/kernel", n as u64, iters, || {
             kernel::mat_mul(&a, &b)
+        }));
+        let aw = WordMatrix::from_matrix(&a);
+        let bw = WordMatrix::from_matrix(&b);
+        cases.push(case("mat_mul", "gf2_16/words", n as u64, iters, || {
+            aw.mat_mul(&bw)
         }));
         cases.push(case("mat_mul", "gf2_16/scalar", n as u64, iters, || {
             a.mul(&b)
@@ -221,15 +291,68 @@ pub fn run_gf_bench(quick: bool) -> Vec<GfCase> {
         || scheme.encode(0, 1, &value),
     ));
 
+    // --- Batched Algorithm-1 encode/check over a packed column slab. ----
+    // The shape the batched execution path hands the kernels: one ρ×width
+    // slab holding the value-columns of many instances/streams, encoded
+    // by a single blocked multiply per edge. `n` records the slab width
+    // (packed columns).
+    let width = if quick { 256 } else { 2048 };
+    let (rho, z) = (6usize, 10usize);
+    let code = Matrix::<Gf2_16>::random(rho, z, &mut rng);
+    let xslab: Vec<Gf2_16> = (0..rho * width)
+        .map(|i| Gf2_16::from_u64(i as u64 * 193 + 7))
+        .collect();
+    let slab_iters = if quick { 100 } else { 400 };
+    let slab_tier = row_tier("gf2_16", width, "gf2_16/split-table16");
+    let mut out = vec![Gf2_16::ZERO; z * width];
+    cases.push(case(
+        "encode_batch",
+        slab_tier,
+        width as u64,
+        slab_iters,
+        || <Gf2_16 as FastOps>::encode_batch(&code, &xslab, width, &mut out),
+    ));
+    // Scalar baseline: the per-column path the batched encode replaces.
+    let mut out_s = vec![Gf2_16::ZERO; z * width];
+    cases.push(case(
+        "encode_batch",
+        "gf2_16/scalar",
+        width as u64,
+        slab_iters,
+        || {
+            for j in 0..width {
+                for r in 0..z {
+                    let mut acc = Gf2_16::ZERO;
+                    for k in 0..rho {
+                        acc = acc.add(code[(k, r)].mul(xslab[k * width + j]));
+                    }
+                    out_s[r * width + j] = acc;
+                }
+            }
+        },
+    ));
+    let expected = out.clone();
+    cases.push(case(
+        "check_batch",
+        slab_tier,
+        width as u64,
+        slab_iters,
+        || <Gf2_16 as FastOps>::check_batch(&code, &xslab, width, &expected),
+    ));
+
     cases
 }
 
-/// Renders the GF micro-benchmark report (`BENCH_gf.json`).
+/// Renders the GF micro-benchmark report (`BENCH_gf.json`): the selected
+/// arch-SIMD tier and detected CPU features (so baselines from different
+/// machines stay comparable), then every timed case.
 pub fn gf_report_json(cases: &[GfCase], quick: bool) -> Json {
     Json::obj(vec![
         ("report", Json::str("gf")),
         ("schema", Json::U64(SCHEMA_VERSION)),
         ("quick", Json::Bool(quick)),
+        ("tier", Json::str(simd::tier())),
+        ("cpu", Json::str(simd::cpu_features())),
         (
             "cases",
             Json::Arr(
@@ -466,8 +589,10 @@ mod tests {
             total_ns: 1234,
         }];
         let j = gf_report_json(&cases, true).render();
-        assert!(j.starts_with("{\"report\":\"gf\",\"schema\":3,\"quick\":true,\"cases\":["));
+        assert!(j.starts_with("{\"report\":\"gf\",\"schema\":4,\"quick\":true,\"tier\":\""));
         for key in [
+            "\"cpu\":\"",
+            "\"cases\":[",
             "\"op\":",
             "\"tier\":",
             "\"n\":64",
@@ -485,12 +610,34 @@ mod tests {
         let ops: std::collections::BTreeSet<&str> = cases.iter().map(|c| c.op).collect();
         assert_eq!(
             ops.into_iter().collect::<Vec<_>>(),
-            vec!["encode", "invert", "mat_mul", "mul_row_add", "solve"]
+            vec![
+                "check_batch",
+                "encode",
+                "encode_batch",
+                "invert",
+                "mat_mul",
+                "mul_row_add",
+                "mul_row_add_batch",
+                "solve"
+            ]
         );
-        // Every specialized tier appears alongside its scalar baseline.
+        // Every specialized tier appears alongside its scalar baseline,
+        // with the row cases labeled by the kernel that actually runs on
+        // this machine (arch-SIMD when detected, table tiers otherwise).
         assert!(cases.iter().any(|c| c.tier == "gf256/bytes"));
-        assert!(cases.iter().any(|c| c.tier == "gf2_16/split-table16"));
+        assert!(cases.iter().any(|c| c.tier == "gf2_16/words"));
         assert!(cases.iter().any(|c| c.tier == "gf2_16/scalar"));
+        let expected_row = match simd::tier() {
+            "avx2" => "gf2_16/simd-avx2",
+            "ssse3" => "gf2_16/simd-ssse3",
+            _ => "gf2_16/split-table16",
+        };
+        assert!(
+            cases
+                .iter()
+                .any(|c| c.op == "mul_row_add" && c.tier == expected_row),
+            "row tier must track the detected kernel ({expected_row})"
+        );
         for c in &cases {
             assert!(c.iters > 0, "{c:?}");
         }
@@ -519,7 +666,7 @@ mod tests {
         assert!(report.aggregate.all_correct);
         let j = sweep_report_json(&report, wall_ns, threads, true, &fixture_plan_cache_bench())
             .render();
-        assert!(j.starts_with("{\"report\":\"sweep\",\"schema\":3"));
+        assert!(j.starts_with("{\"report\":\"sweep\",\"schema\":4"));
         assert!(
             j.contains("\"wall_total_ns\":"),
             "timed sweep embedded: {j}"

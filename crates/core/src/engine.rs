@@ -485,6 +485,31 @@ impl NabEngine {
         wall.equality = t0.elapsed().as_nanos() as u64;
         drop(eq_span);
 
+        Ok(self.finish_instance(
+            gk, trees, gamma, rho, &scheme, p1, eq, input, faulty, adv, times, wall,
+        ))
+    }
+
+    /// The shared tail of an instance — flag broadcast, mismatch
+    /// evaluation, dispute control, message-level replay — identical
+    /// between the per-instance and batched front halves.
+    #[allow(clippy::too_many_arguments)] // internal seam of run_instance
+    fn finish_instance(
+        &mut self,
+        gk: &DiGraph,
+        trees: &[Arborescence],
+        gamma: u64,
+        rho: u64,
+        scheme: &CodingScheme,
+        p1: crate::phase1::Phase1Output,
+        eq: crate::phase2::EqOutcome,
+        input: &Value,
+        faulty: &BTreeSet<NodeId>,
+        adv: &mut dyn NabAdversary,
+        mut times: PhaseTimes,
+        mut wall: PhaseWallNanos,
+    ) -> InstanceReport {
+        let plan = Arc::clone(&self.plan);
         let flags_span = PhaseSpan::enter(Phase::Flags);
         let t0 = std::time::Instant::now();
         let participants: Vec<NodeId> = gk.nodes().collect();
@@ -531,7 +556,7 @@ impl NabEngine {
                 times = net_times;
                 delivered = Some(d);
             }
-            return Ok(InstanceReport {
+            return InstanceReport {
                 outputs: p1.values,
                 times,
                 wall,
@@ -543,22 +568,13 @@ impl NabEngine {
                 newly_removed: Vec::new(),
                 defaulted: false,
                 delivered,
-            });
+            };
         }
 
         // Phase 3: dispute control.
         let dispute_span = PhaseSpan::enter(Phase::Dispute);
         let t0 = std::time::Instant::now();
-        let truthful = honest_claims(
-            gk,
-            SOURCE,
-            input,
-            trees,
-            &scheme,
-            &p1,
-            &eq,
-            &flags.announced,
-        );
+        let truthful = honest_claims(gk, SOURCE, input, trees, scheme, &p1, &eq, &flags.announced);
         let mut broadcast_claims: BTreeMap<NodeId, NodeClaims> = BTreeMap::new();
         for (&v, honest) in &truthful {
             let c = if faulty.contains(&v) {
@@ -599,7 +615,7 @@ impl NabEngine {
 
         // DC2 + DC3 on the agreed claims.
         let new_pairs = dc2_disputes(&agreed_claims);
-        let exposed = dc3_exposed(gk, SOURCE, trees, &scheme, &agreed_claims);
+        let exposed = dc3_exposed(gk, SOURCE, trees, scheme, &agreed_claims);
         let newly_removed = self
             .disputes
             .integrate(plan.graph(), self.cfg.f, &new_pairs, &exposed);
@@ -636,7 +652,7 @@ impl NabEngine {
             delivered = Some(d);
         }
 
-        Ok(InstanceReport {
+        InstanceReport {
             outputs,
             times,
             wall,
@@ -648,8 +664,163 @@ impl NabEngine {
             newly_removed,
             defaulted: false,
             delivered,
-        })
+        }
     }
+
+    /// Whether no dispute has shrunk `G_k` yet — the precondition for
+    /// the plan's precomputed γ/ρ/trees (and for cross-stream batching).
+    fn undisputed(&self) -> bool {
+        self.disputes.pairs.is_empty() && self.disputes.removed.is_empty()
+    }
+}
+
+/// Whether `engines` can take the batched equality path this step:
+/// every engine must be on the undisputed fast path (so they share
+/// `G_k`, trees, ρ, and — because coding matrices depend only on
+/// `(seed, instance)` — the *same* [`CodingScheme`]), agree on config
+/// and instance counter, borrow the very same plan, and use formula
+/// timing (message-level replay retimes streams independently).
+fn batch_compatible(engines: &[NabEngine]) -> bool {
+    let Some(first) = engines.first() else {
+        return false;
+    };
+    // f = 0 instances stop after Phase 1 (special case 2 holds
+    // vacuously) — there is no equality phase to batch.
+    first.cfg.f > 0
+        && engines.iter().all(|e| {
+            e.undisputed()
+                && e.net.is_none()
+                && e.cfg == first.cfg
+                && e.instance == first.instance
+                && e.broadcast == first.broadcast
+                && Arc::ptr_eq(&e.plan, &first.plan)
+        })
+}
+
+/// Runs one instance on every engine (one per stream), packing all
+/// streams' equality-check columns into a single slab multiply per edge
+/// when the streams are batch-compatible; otherwise falls back to
+/// per-stream [`NabEngine::run_instance`] calls. Results are
+/// bit-identical either way — batching only regroups XOR-exact GF
+/// arithmetic and never changes protocol messages or RNG draw order.
+///
+/// `inputs` and `advs` are indexed by stream, matching `engines`.
+///
+/// # Errors
+///
+/// Returns the first stream's error ([`NabError::WrongInputSize`] etc.),
+/// exactly as the per-stream loop would.
+///
+/// # Panics
+///
+/// Panics if `engines`, `inputs`, and `advs` have mismatched lengths or
+/// a `faulty` set exceeds the configured `f`.
+pub fn run_instances_batched(
+    engines: &mut [NabEngine],
+    inputs: &[Value],
+    faulty: &BTreeSet<NodeId>,
+    advs: &mut [&mut dyn NabAdversary],
+) -> Result<Vec<InstanceReport>, NabError> {
+    assert_eq!(engines.len(), inputs.len(), "one input per stream");
+    assert_eq!(engines.len(), advs.len(), "one adversary per stream");
+
+    if !batch_compatible(engines) {
+        // Per-stream fallback: bit-identical to the caller looping
+        // itself (stream tags keep traces attributable).
+        let mut reports = Vec::with_capacity(engines.len());
+        for (s, ((engine, input), adv)) in engines
+            .iter_mut()
+            .zip(inputs)
+            .zip(advs.iter_mut())
+            .enumerate()
+        {
+            trace::set_stream(s as u32);
+            reports.push(engine.run_instance(input, faulty, &mut **adv)?);
+        }
+        return Ok(reports);
+    }
+
+    let streams = engines.len();
+    let plan = Arc::clone(&engines[0].plan);
+    let cfg = engines[0].cfg;
+    for (engine, input) in engines.iter().zip(inputs) {
+        assert!(
+            faulty.len() <= engine.cfg.f,
+            "faulty set exceeds configured f"
+        );
+        if input.len() != engine.cfg.symbols {
+            return Err(NabError::WrongInputSize {
+                expect: engine.cfg.symbols,
+                got: input.len(),
+            });
+        }
+    }
+
+    let gk = plan.graph();
+    let trees = plan.trees0();
+    let gamma = plan.gamma0();
+    let rho = plan.rho0();
+
+    // Phase 1 per stream (protocol messages are per-stream regardless).
+    let mut spans = Vec::with_capacity(streams);
+    let mut p1s = Vec::with_capacity(streams);
+    let mut times = Vec::with_capacity(streams);
+    let mut walls = Vec::with_capacity(streams);
+    for (s, (engine, input)) in engines.iter_mut().zip(inputs).enumerate() {
+        trace::set_stream(s as u32);
+        engine.instance += 1;
+        spans.push(InstanceSpan::enter((engine.instance - 1) as u64));
+        let p1_span = PhaseSpan::enter(Phase::Phase1);
+        let t0 = std::time::Instant::now();
+        let p1 = run_phase1(gk, SOURCE, input, trees, faulty, &mut *advs[s]);
+        times.push(PhaseTimes {
+            phase1: p1.duration,
+            ..PhaseTimes::default()
+        });
+        walls.push(PhaseWallNanos {
+            phase1: t0.elapsed().as_nanos() as u64,
+            ..PhaseWallNanos::default()
+        });
+        drop(p1_span);
+        p1s.push(p1);
+    }
+
+    // Equality check: one coding scheme (identical across streams by
+    // construction), all streams' columns in one slab per edge.
+    let t0 = std::time::Instant::now();
+    let scheme = plan.instance_scheme(cfg.seed, engines[0].instance as u64);
+    let values: Vec<&BTreeMap<NodeId, Value>> = p1s.iter().map(|p| &p.values).collect();
+    let eqs = crate::phase2::run_equality_phase_batched(gk, &values, &scheme, faulty, advs);
+    let eq_wall = t0.elapsed().as_nanos() as u64 / streams as u64;
+
+    // Per-stream tail: flag broadcast, disputes, report.
+    let mut reports = Vec::with_capacity(streams);
+    for (s, (((engine, input), p1), eq)) in
+        engines.iter_mut().zip(inputs).zip(p1s).zip(eqs).enumerate()
+    {
+        trace::set_stream(s as u32);
+        let eq_span = PhaseSpan::enter(Phase::Equality);
+        times[s].equality = eq.duration;
+        walls[s].equality = eq_wall;
+        drop(eq_span);
+        let report = engine.finish_instance(
+            gk,
+            trees,
+            gamma,
+            rho,
+            &scheme,
+            p1,
+            eq,
+            input,
+            faulty,
+            &mut *advs[s],
+            times[s],
+            walls[s],
+        );
+        reports.push(report);
+        drop(spans.pop());
+    }
+    Ok(reports)
 }
 
 /// Summary of a multi-instance run (the throughput experiment quantum).
@@ -1020,6 +1191,143 @@ mod tests {
             for out in rep2.outputs.values() {
                 assert_eq!(*out, Value::zeros(8));
             }
+        }
+    }
+
+    /// Everything deterministic in a report (wall-clock excluded).
+    fn assert_reports_match(a: &InstanceReport, b: &InstanceReport, ctx: &str) {
+        assert_eq!(a.outputs, b.outputs, "{ctx}: outputs");
+        assert_eq!(a.times, b.times, "{ctx}: times");
+        assert_eq!((a.gamma_k, a.rho_k), (b.gamma_k, b.rho_k), "{ctx}: rates");
+        assert_eq!(a.mismatch_detected, b.mismatch_detected, "{ctx}: mismatch");
+        assert_eq!(a.dispute_ran, b.dispute_ran, "{ctx}: dispute_ran");
+        assert_eq!(a.new_pairs, b.new_pairs, "{ctx}: new_pairs");
+        assert_eq!(a.newly_removed, b.newly_removed, "{ctx}: removed");
+        assert_eq!(a.defaulted, b.defaulted, "{ctx}: defaulted");
+    }
+
+    /// Drives `run_instances_batched` for several instances and mirrors
+    /// every stream with an independent per-instance engine, asserting
+    /// bit-identical reports and dispute evolution throughout.
+    fn check_batched_equivalence<A: NabAdversary + Default>(
+        faulty: &BTreeSet<NodeId>,
+        instances: usize,
+    ) {
+        let g = gen::complete(4, 2);
+        let cfg = NabConfig {
+            f: 1,
+            symbols: 12,
+            seed: 42,
+        };
+        let plan = Arc::new(ExecutionPlan::build(g, 1).unwrap());
+        let mk = |n: usize| -> Vec<NabEngine> {
+            (0..n)
+                .map(|_| NabEngine::from_plan(Arc::clone(&plan), cfg).unwrap())
+                .collect()
+        };
+        let mut batched = mk(3);
+        let mut solo = mk(3);
+        let inputs: Vec<Value> = (0..3u64)
+            .map(|s| Value::from_u64s(&(0..12u64).map(|i| i * 7 + s + 1).collect::<Vec<_>>()))
+            .collect();
+        for k in 0..instances {
+            let mut a0 = A::default();
+            let mut a1 = A::default();
+            let mut a2 = A::default();
+            let mut advs: Vec<&mut dyn NabAdversary> = vec![&mut a0, &mut a1, &mut a2];
+            let reps = run_instances_batched(&mut batched, &inputs, faulty, &mut advs).unwrap();
+            assert_eq!(reps.len(), 3);
+            for (s, rep) in reps.iter().enumerate() {
+                let mut adv = A::default();
+                let want = solo[s].run_instance(&inputs[s], faulty, &mut adv).unwrap();
+                assert_reports_match(rep, &want, &format!("instance {k} stream {s}"));
+            }
+        }
+        for (b, s) in batched.iter().zip(&solo) {
+            assert_eq!(b.disputes().pairs, s.disputes().pairs);
+            assert_eq!(b.disputes().removed, s.disputes().removed);
+            assert_eq!(b.instances_run(), s.instances_run());
+        }
+    }
+
+    #[test]
+    fn batched_streams_match_per_instance_fault_free() {
+        check_batched_equivalence::<HonestStrategy>(&BTreeSet::new(), 3);
+    }
+
+    #[test]
+    fn batched_streams_match_per_instance_through_dispute_fallback() {
+        // Instance 0 takes the packed-slab path and exposes node 2 via
+        // DC3; from instance 1 on the engines are disputed, so the entry
+        // point must take its internal per-stream fallback — reports and
+        // dispute state stay bit-identical to solo engines either way.
+        check_batched_equivalence::<TruthfulCorruptor>(&BTreeSet::from([2]), 4);
+    }
+
+    /// Grows every forwarded Phase-1 block by one symbol, so downstream
+    /// nodes assemble values *longer* than the source's input and
+    /// per-node (and per-stream) column counts diverge — the
+    /// heterogeneous-width case of the packed-slab equality check.
+    #[derive(Default)]
+    struct BlockStretcher;
+    impl NabAdversary for BlockStretcher {
+        fn phase1_forward(
+            &mut self,
+            _: NodeId,
+            _: usize,
+            _: NodeId,
+            honest: &[nab_gf::Gf2_16],
+        ) -> Vec<nab_gf::Gf2_16> {
+            let mut out = honest.to_vec();
+            out.push(nab_gf::Gf2_16(0x5A));
+            out
+        }
+    }
+
+    #[test]
+    fn batched_streams_match_per_instance_under_length_tampering() {
+        // A length-tampering relay makes node values (hence reshaped
+        // column counts) unequal across nodes; the batched pack must
+        // reproduce the per-instance flags and sends exactly.
+        check_batched_equivalence::<BlockStretcher>(&BTreeSet::from([2]), 3);
+    }
+
+    #[test]
+    fn batched_streams_match_per_instance_under_equality_tampering() {
+        // The garbler corrupts coded symbols *inside* the equality phase,
+        // exercising the batched path's per-stream adversary calls (and
+        // their RNG-free determinism) rather than Phase-1 corruption.
+        check_batched_equivalence::<crate::adversary::EqualityGarbler>(&BTreeSet::from([1]), 3);
+    }
+
+    #[test]
+    fn batched_entry_point_handles_heterogeneous_engines() {
+        // Engines with private (non-shared) plans are batch-incompatible;
+        // the entry point must silently fall back and still match.
+        let g = gen::complete(4, 2);
+        let cfg = NabConfig {
+            f: 1,
+            symbols: 12,
+            seed: 42,
+        };
+        let mut batched: Vec<NabEngine> = (0..2)
+            .map(|_| NabEngine::new(g.clone(), cfg).unwrap())
+            .collect();
+        let mut solo: Vec<NabEngine> = (0..2)
+            .map(|_| NabEngine::new(g.clone(), cfg).unwrap())
+            .collect();
+        let x = input(12);
+        let inputs = vec![x.clone(), x.clone()];
+        let mut a0 = HonestStrategy;
+        let mut a1 = HonestStrategy;
+        let mut advs: Vec<&mut dyn NabAdversary> = vec![&mut a0, &mut a1];
+        let reps =
+            run_instances_batched(&mut batched, &inputs, &BTreeSet::new(), &mut advs).unwrap();
+        for (s, rep) in reps.iter().enumerate() {
+            let want = solo[s]
+                .run_instance(&x, &BTreeSet::new(), &mut HonestStrategy)
+                .unwrap();
+            assert_reports_match(rep, &want, &format!("stream {s}"));
         }
     }
 

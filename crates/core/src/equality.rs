@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 
 use nab_gf::field::Field;
 use nab_gf::matrix::Matrix;
-use nab_gf::Gf2_16;
+use nab_gf::{Gf2_16, WordMatrix};
 use nab_netgraph::{DiGraph, NodeId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -129,6 +129,25 @@ impl CodingScheme {
             out.extend(nab_gf::kernel::left_mul_vec(c, x));
         }
         out
+    }
+
+    /// The batched-encode shape: `Y_eᵀ = C_eᵀ · Xᵀ`, where `xt` is a
+    /// `ρ × W` row-major slab whose columns are value columns (from any
+    /// number of instances/streams packed side by side). One blocked
+    /// [`WordMatrix::mat_mul`] with `W`-long rows replaces `W` per-column
+    /// [`nab_gf::kernel::left_mul_vec`] calls with `z_e`-long rows — the
+    /// hot path of the batched execution engine. Entry `(r, c)` of the
+    /// result is coded symbol `r` of packed column `c`, bit-identical to
+    /// [`CodingScheme::encode_cols`] on the same columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge has no matrix or `xt` has `!= ρ` rows.
+    pub fn encode_slab(&self, src: NodeId, dst: NodeId, xt: &WordMatrix) -> WordMatrix {
+        let c = self.matrix(src, dst);
+        assert_eq!(xt.rows(), self.rho, "packed slab must have ρ rows");
+        let ct = WordMatrix::from_fn(c.cols(), c.rows(), |r, col| c[(col, r)].0);
+        ct.mat_mul(xt)
     }
 
     /// Number of coded symbols [`CodingScheme::encode`] produces on an edge
@@ -351,6 +370,39 @@ mod tests {
         let m = scheme.matrix(0, 1);
         let sub = m.select_cols(&[0, 1, 2]);
         assert!(linalg::is_invertible(&sub));
+    }
+
+    #[test]
+    fn encode_slab_matches_encode_cols_per_packed_stream() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let g = gen::complete(4, 3);
+        let scheme = CodingScheme::random(&g, 2, 31);
+        let mut rng = StdRng::seed_from_u64(8);
+        // Three "streams" of 6 symbols each → 3 columns per stream.
+        let vals: Vec<Value> = (0..3).map(|_| Value::random(6, &mut rng)).collect();
+        let reshaped: Vec<Vec<Vec<Gf2_16>>> = vals.iter().map(|v| v.reshape(2)).collect();
+        let cols = reshaped[0].len();
+        let mut xt = WordMatrix::zero(2, 3 * cols);
+        for (s, cs) in reshaped.iter().enumerate() {
+            for (j, col) in cs.iter().enumerate() {
+                for (r, &sym) in col.iter().enumerate() {
+                    xt.set(r, s * cols + j, sym);
+                }
+            }
+        }
+        let yt = scheme.encode_slab(0, 1, &xt);
+        assert_eq!(yt.rows(), scheme.matrix(0, 1).cols());
+        for (s, cs) in reshaped.iter().enumerate() {
+            let expect = scheme.encode_cols(0, 1, cs);
+            let mut got = Vec::new();
+            for j in 0..cols {
+                for r in 0..yt.rows() {
+                    got.push(yt.get(r, s * cols + j));
+                }
+            }
+            assert_eq!(got, expect, "stream {s}");
+        }
     }
 
     #[test]

@@ -108,7 +108,7 @@ pub(crate) struct ReplayInput<'a> {
     /// The arborescences of Phase 1 (for tail-arrival causality).
     pub trees: &'a [Arborescence],
     /// Phase-1 blocks per `(tree, src, dst)`.
-    pub p1_sends: &'a BTreeMap<(usize, NodeId, NodeId), Vec<Gf2_16>>,
+    pub p1_sends: &'a BTreeMap<(usize, NodeId, NodeId), crate::phase1::Block>,
     /// Equality-check symbols per link; `None` when the phase did not run.
     pub eq_sends: Option<&'a BTreeMap<(NodeId, NodeId), Vec<Gf2_16>>>,
     /// Flag-broadcast rounds (from the `NetSim` transcript).

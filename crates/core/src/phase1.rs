@@ -7,14 +7,20 @@
 //! time — each link `e` carries `(uses of e) · L/γ_k ≤ z_e · L/γ_k` bits.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use nab_gf::Gf2_16;
 use nab_netgraph::arborescence::Arborescence;
 use nab_netgraph::{DiGraph, NodeId};
-use nab_sim::NetSim;
 
 use crate::adversary::NabAdversary;
 use crate::value::{Value, SYMBOL_BITS};
+
+/// A Phase-1 block as carried by the network. Honest relays forward the
+/// block they received unchanged, so the ground truth shares one
+/// allocation per tree among the source, every relay, and the send
+/// records — only faulty nodes materialize new blocks.
+pub type Block = Arc<Vec<Gf2_16>>;
 
 /// Ground truth of one Phase-1 execution.
 #[derive(Debug, Clone)]
@@ -23,7 +29,7 @@ pub struct Phase1Output {
     /// source holds its input).
     pub values: BTreeMap<NodeId, Value>,
     /// Every block actually transmitted: `(tree, src, dst) → block`.
-    pub sends: BTreeMap<(usize, NodeId, NodeId), Vec<Gf2_16>>,
+    pub sends: BTreeMap<(usize, NodeId, NodeId), Block>,
     /// Wall-clock duration charged (`≈ L/γ_k`).
     pub duration: f64,
 }
@@ -48,43 +54,54 @@ pub fn run_phase1(
     adv: &mut dyn NabAdversary,
 ) -> Phase1Output {
     assert!(gk.is_active(source), "source must be active in G_k");
-    let honest_blocks = input.split_blocks(trees.len().max(1));
+    let honest_blocks: Vec<Block> = input
+        .split_blocks(trees.len().max(1))
+        .into_iter()
+        .map(Arc::new)
+        .collect();
 
-    let mut sends: BTreeMap<(usize, NodeId, NodeId), Vec<Gf2_16>> = BTreeMap::new();
+    let mut sends: BTreeMap<(usize, NodeId, NodeId), Block> = BTreeMap::new();
     // Per-tree block held at each node.
-    let mut held: Vec<BTreeMap<NodeId, Vec<Gf2_16>>> = vec![BTreeMap::new(); trees.len()];
+    let mut held: Vec<BTreeMap<NodeId, Block>> = vec![BTreeMap::new(); trees.len()];
 
     for (t, tree) in trees.iter().enumerate() {
-        held[t].insert(source, honest_blocks[t].clone());
+        held[t].insert(source, Arc::clone(&honest_blocks[t]));
         for u in tree.bfs_order() {
             let received = held[t].get(&u).cloned().unwrap_or_default();
             for child in tree.children(u) {
                 let payload = if u == source {
                     if faulty.contains(&source) {
-                        adv.phase1_source_block(t, child, &honest_blocks[t])
+                        Arc::new(adv.phase1_source_block(t, child, &honest_blocks[t]))
                     } else {
-                        honest_blocks[t].clone()
+                        Arc::clone(&honest_blocks[t])
                     }
                 } else if faulty.contains(&u) {
-                    adv.phase1_forward(u, t, child, &received)
+                    Arc::new(adv.phase1_forward(u, t, child, &received))
                 } else {
-                    received.clone()
+                    Arc::clone(&received)
                 };
-                sends.insert((t, u, child), payload.clone());
+                sends.insert((t, u, child), Arc::clone(&payload));
                 held[t].insert(child, payload);
             }
         }
     }
 
     // Charge link time: all transmissions happen concurrently (zero
-    // propagation delay), so the phase lasts as long as its busiest link.
-    let mut net: NetSim<Vec<Gf2_16>> = NetSim::new(gk.clone());
-    net.set_record_transcript(false);
+    // propagation delay), so the phase lasts as long as its busiest link
+    // — `max_e(bits_e / z_e)` with per-link bit totals, exactly the
+    // round charge `NetSim::deliver_round` computes.
+    let mut link_bits: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
     for ((_, src, dst), block) in &sends {
-        net.send(*src, *dst, block.len() as u64 * SYMBOL_BITS, block.clone())
-            .expect("tree edges exist in G_k");
+        *link_bits.entry((*src, *dst)).or_insert(0) += block.len() as u64 * SYMBOL_BITS;
     }
-    let duration = net.deliver_round("phase1");
+    let mut duration: f64 = 0.0;
+    for (&(src, dst), &bits) in &link_bits {
+        let cap = gk
+            .find_edge(src, dst)
+            .map(|(_, e)| e.cap)
+            .expect("tree edges exist in G_k");
+        duration = duration.max(bits as f64 / cap as f64);
+    }
 
     // Final values.
     let mut values = BTreeMap::new();
@@ -92,10 +109,13 @@ pub fn run_phase1(
         if v == source {
             values.insert(v, input.clone());
         } else {
-            let blocks: Vec<Vec<Gf2_16>> = (0..trees.len())
-                .map(|t| held[t].get(&v).cloned().unwrap_or_default())
-                .collect();
-            values.insert(v, Value::join_blocks(&blocks));
+            let mut symbols = Vec::with_capacity(input.len());
+            for per_tree in &held {
+                if let Some(block) = per_tree.get(&v) {
+                    symbols.extend_from_slice(block);
+                }
+            }
+            values.insert(v, Value::from_symbols(symbols));
         }
     }
 

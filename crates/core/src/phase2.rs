@@ -7,7 +7,7 @@ use nab_bb::baselines::RoutedChannel;
 use nab_bb::eig::{run_eig, EigChannel, HonestAdversary};
 use nab_bb::phaseking::{run_phase_king, PkHonest};
 use nab_bb::router::{PathRouter, Routed};
-use nab_gf::Gf2_16;
+use nab_gf::{Gf2_16, WordMatrix};
 use nab_netgraph::arborescence::Arborescence;
 use nab_netgraph::{DiGraph, NodeId};
 use nab_sim::NetSim;
@@ -30,7 +30,12 @@ pub struct EqOutcome {
     pub duration: f64,
 }
 
-/// Runs the equality check (Algorithm 1) over the simulator on `gk`.
+/// Runs the equality check (Algorithm 1) on `gk`.
+///
+/// Links are reliable, so the receiver's view of an edge equals the
+/// sender's transmission; the phase is evaluated directly on the ground
+/// truth, charging the same `max_e(bits_e / z_e)` round time the
+/// simulator would.
 pub fn run_equality_phase(
     gk: &DiGraph,
     values: &BTreeMap<NodeId, Value>,
@@ -38,8 +43,6 @@ pub fn run_equality_phase(
     faulty: &BTreeSet<NodeId>,
     adv: &mut dyn NabAdversary,
 ) -> EqOutcome {
-    let mut net: NetSim<Vec<Gf2_16>> = NetSim::new(gk.clone());
-    net.set_record_transcript(false);
     let mut sends = BTreeMap::new();
 
     // Each node's value is reshaped into ρ-symbol columns exactly once;
@@ -49,6 +52,8 @@ pub fn run_equality_phase(
         .map(|v| (v, values[&v].reshape(scheme.rho())))
         .collect();
 
+    let mut flags: BTreeMap<NodeId, bool> = gk.nodes().map(|v| (v, false)).collect();
+    let mut link_bits: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
     for (_, e) in gk.edges() {
         let honest = scheme.encode_cols(e.src, e.dst, &reshaped[&e.src]);
         let sent = if faulty.contains(&e.src) {
@@ -56,26 +61,164 @@ pub fn run_equality_phase(
         } else {
             honest
         };
-        net.send(e.src, e.dst, sent.len() as u64 * SYMBOL_BITS, sent.clone())
-            .expect("edge exists");
+        *link_bits.entry((e.src, e.dst)).or_insert(0) += sent.len() as u64 * SYMBOL_BITS;
+        if !scheme.check_cols(e.src, e.dst, &reshaped[&e.dst], &sent) {
+            flags.insert(e.dst, true);
+        }
         sends.insert((e.src, e.dst), sent);
     }
-    let duration = net.deliver_round("phase2/equality");
-
-    let mut flags: BTreeMap<NodeId, bool> = gk.nodes().map(|v| (v, false)).collect();
-    for v in gk.nodes() {
-        for (from, symbols) in net.take_inbox(v) {
-            if !scheme.check_cols(from, v, &reshaped[&v], &symbols) {
-                flags.insert(v, true);
-            }
-        }
-    }
+    let duration = equality_duration(gk, &link_bits);
 
     EqOutcome {
         sends,
         flags,
         duration,
     }
+}
+
+/// The synchronous round charge `max_e(bits_e / z_e)` over per-link bit
+/// totals — identical to `NetSim::deliver_round` on the same sends.
+fn equality_duration(gk: &DiGraph, link_bits: &BTreeMap<(NodeId, NodeId), u64>) -> f64 {
+    let mut duration: f64 = 0.0;
+    for (&(src, dst), &bits) in link_bits {
+        let cap = gk
+            .find_edge(src, dst)
+            .map(|(_, e)| e.cap)
+            .expect("edge exists");
+        duration = duration.max(bits as f64 / cap as f64);
+    }
+    duration
+}
+
+/// Packs the reshaped value columns of every stream into one row-major
+/// `ρ × Σ_s cols_s` slab: stream `s`'s column `j` lands at slab column
+/// `offsets[s] + j`. This is the `Xᵀ` operand of the batched equality
+/// check. Streams may hold **different column counts at the same node**
+/// (a length-tampering adversary grows or shrinks a forwarded block, so
+/// a downstream node's assembled value no longer has `S` symbols), which
+/// is why each stream gets a cumulative offset instead of a uniform
+/// stride. Returns the slab plus the `streams + 1` column offsets
+/// (`offsets[s]..offsets[s + 1]` is stream `s`'s span).
+fn pack_columns(reshaped: &[&Vec<Vec<Gf2_16>>], rho: usize) -> (WordMatrix, Vec<usize>) {
+    let mut offsets = Vec::with_capacity(reshaped.len() + 1);
+    offsets.push(0usize);
+    for stream_cols in reshaped {
+        offsets.push(offsets.last().unwrap() + stream_cols.len());
+    }
+    let width = *offsets.last().unwrap();
+    let mut xt = WordMatrix::zero(rho, width);
+    let slab = xt.as_mut_slice();
+    for (s, stream_cols) in reshaped.iter().enumerate() {
+        for (j, col) in stream_cols.iter().enumerate() {
+            for (r, &sym) in col.iter().enumerate() {
+                slab[r * width + offsets[s] + j] = sym;
+            }
+        }
+    }
+    (xt, offsets)
+}
+
+/// Extracts one stream's coded symbols (slab columns
+/// `start..start + cols`) from a batched `Yᵀ = C_eᵀ · Xᵀ` slab,
+/// flattened column-major exactly like [`CodingScheme::encode_cols`]:
+/// symbol `j·z + r` is `Yᵀ(r, start + j)`.
+fn scatter_stream(yt: &WordMatrix, start: usize, cols: usize) -> Vec<Gf2_16> {
+    let z = yt.rows();
+    let width = yt.cols();
+    let slab = yt.as_slice();
+    let mut out = Vec::with_capacity(cols * z);
+    for j in 0..cols {
+        for r in 0..z {
+            out.push(slab[r * width + start + j]);
+        }
+    }
+    out
+}
+
+/// The batched equality check: one execution of Algorithm 1 per stream,
+/// all sharing the same coding scheme (streams at the same instance index
+/// use identical per-edge matrices), evaluated as **one blocked matrix
+/// multiply per edge** over a packed cross-stream slab instead of
+/// per-column vector products.
+///
+/// Per edge `e`, the sender-side slab is `Y_eᵀ = C_eᵀ · Xᵀ` where `Xᵀ`
+/// stacks every stream's value columns side by side (at cumulative
+/// offsets, since tampered values may differ in length); the
+/// receiver-side expectation reuses the same shape. Row lengths grow
+/// from `z_e` to `≈ streams · S/ρ`, which is the shape the
+/// [`nab_gf::simd`] row kernels want. Results are bit-identical to [`run_equality_phase`] per stream
+/// (`GF(2^16)` addition is exact XOR, so any grouping of the same
+/// multiply-accumulates produces the same symbols), which the engine's
+/// batch tests pin.
+///
+/// # Panics
+///
+/// Panics if `values` and `advs` lengths differ, or some active node is
+/// missing a value.
+pub fn run_equality_phase_batched(
+    gk: &DiGraph,
+    values: &[&BTreeMap<NodeId, Value>],
+    scheme: &CodingScheme,
+    faulty: &BTreeSet<NodeId>,
+    advs: &mut [&mut dyn NabAdversary],
+) -> Vec<EqOutcome> {
+    assert_eq!(values.len(), advs.len(), "one adversary per stream");
+    let streams = values.len();
+    let rho = scheme.rho();
+
+    // Reshape every node's value per stream, then pack per node.
+    let reshaped: Vec<BTreeMap<NodeId, Vec<Vec<Gf2_16>>>> = values
+        .iter()
+        .map(|vals| gk.nodes().map(|v| (v, vals[&v].reshape(rho))).collect())
+        .collect();
+    let packed: BTreeMap<NodeId, (WordMatrix, Vec<usize>)> = gk
+        .nodes()
+        .map(|v| {
+            let per_stream: Vec<&Vec<Vec<Gf2_16>>> = reshaped.iter().map(|r| &r[&v]).collect();
+            (v, pack_columns(&per_stream, rho))
+        })
+        .collect();
+
+    let mut sends: Vec<BTreeMap<(NodeId, NodeId), Vec<Gf2_16>>> = vec![BTreeMap::new(); streams];
+    let mut flags: Vec<BTreeMap<NodeId, bool>> = (0..streams)
+        .map(|_| gk.nodes().map(|v| (v, false)).collect())
+        .collect();
+    let mut link_bits: Vec<BTreeMap<(NodeId, NodeId), u64>> = vec![BTreeMap::new(); streams];
+
+    for (_, e) in gk.edges() {
+        // One blocked multiply covers every stream's encode on this edge;
+        // a second covers every stream's receiver-side expectation. The
+        // sender and receiver slabs carry independent per-stream widths
+        // (values may differ in length after tampering), so each side
+        // scatters with its own offsets — a cross-side length mismatch
+        // then fails the `sent != expected` compare exactly like the
+        // per-instance [`CodingScheme::check_cols`] does.
+        let (src_slab, src_off) = &packed[&e.src];
+        let (dst_slab, dst_off) = &packed[&e.dst];
+        let ys = scheme.encode_slab(e.src, e.dst, src_slab);
+        let yd = scheme.encode_slab(e.src, e.dst, dst_slab);
+        for s in 0..streams {
+            let honest = scatter_stream(&ys, src_off[s], src_off[s + 1] - src_off[s]);
+            let sent = if faulty.contains(&e.src) {
+                advs[s].equality_symbols(e.src, e.dst, &honest)
+            } else {
+                honest
+            };
+            *link_bits[s].entry((e.src, e.dst)).or_insert(0) += sent.len() as u64 * SYMBOL_BITS;
+            if sent != scatter_stream(&yd, dst_off[s], dst_off[s + 1] - dst_off[s]) {
+                flags[s].insert(e.dst, true);
+            }
+            sends[s].insert((e.src, e.dst), sent);
+        }
+    }
+
+    (0..streams)
+        .map(|s| EqOutcome {
+            sends: std::mem::take(&mut sends[s]),
+            flags: std::mem::take(&mut flags[s]),
+            duration: equality_duration(gk, &link_bits[s]),
+        })
+        .collect()
 }
 
 /// Which classic BB protocol serves as `Broadcast_Default` for flags and
@@ -260,12 +403,12 @@ pub fn honest_claims(
             .get_mut(&src)
             .unwrap()
             .p1_sent
-            .insert((t, dst), block.clone());
+            .insert((t, dst), block.as_ref().clone());
         claims
             .get_mut(&dst)
             .unwrap()
             .p1_received
-            .insert((t, src), block.clone());
+            .insert((t, src), block.as_ref().clone());
     }
     for (&(src, dst), symbols) in &eq.sends {
         claims

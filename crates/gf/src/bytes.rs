@@ -68,6 +68,9 @@ pub fn mul_row_add(dst: &mut [u8], src: &[u8], s: u8) {
                 *d ^= x;
             }
         }
+        _ if dst.len() >= crate::simd::SIMD_THRESHOLD => {
+            crate::simd::gf256_mul_row_add(dst, src, s);
+        }
         _ => {
             let t = mul_table(s);
             for (d, &x) in dst.iter_mut().zip(src) {
@@ -82,6 +85,9 @@ pub fn scale_row(row: &mut [u8], s: u8) {
     match s {
         0 => row.fill(0),
         1 => {}
+        _ if row.len() >= crate::simd::SIMD_THRESHOLD => {
+            crate::simd::gf256_scale_row(row, s);
+        }
         _ => {
             let t = mul_table(s);
             for x in row.iter_mut() {

@@ -51,6 +51,7 @@ fn tables() -> &'static Tables {
 /// assert_eq!(a.mul(b), Gf256::ONE);
 /// ```
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
 pub struct Gf256(pub u8);
 
 impl fmt::Debug for Gf256 {

@@ -216,6 +216,7 @@ fn tables16() -> &'static Tables16 {
 /// union-bound factor of Theorem 1, while staying fast enough to run
 /// millions of trials.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
 pub struct Gf2_16(pub u16);
 
 impl fmt::Debug for Gf2_16 {

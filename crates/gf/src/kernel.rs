@@ -28,13 +28,21 @@ use crate::gf256::Gf256;
 use crate::gf2m::{Gf2_16, Gf2m};
 use crate::linalg::Echelon;
 use crate::matrix::Matrix;
+use crate::simd;
 
 /// Row lengths below this use the log-domain loop for `Gf2_16`: building
 /// the two 256-entry split tables costs 512 field multiplications plus a
 /// kilobyte of cache traffic, which only pays off once the row is long
 /// enough to amortize it (measured break-even sits near 1k elements; see
-/// `BENCH_gf.json`).
+/// `BENCH_gf.json`). Rows of [`crate::simd::SIMD_THRESHOLD`] or more take
+/// the arch-SIMD tier first when one was detected (see [`crate::simd`]).
 pub const GF2_16_SPLIT_THRESHOLD: usize = 1024;
+
+/// Column-stripe width (in elements) for the blocked batched ops
+/// ([`FastOps::encode_batch`]): destination and source stripes stay
+/// cache-resident even for very wide packed slabs. Blocking never changes
+/// results — characteristic-2 accumulation is exact XOR.
+pub const BATCH_COL_BLOCK: usize = 1024;
 
 /// The scalar reference implementation of the fused row kernel:
 /// `dst[i] += s · src[i]` one element at a time. This is both the default
@@ -96,6 +104,94 @@ pub trait FastOps: Field {
     fn scale_row(row: &mut [Self], s: Self) {
         scalar_scale_row(row, s);
     }
+
+    /// Batched fused multiply-add: `dst[i] += Σ_j scalars[j] · srcs[j][i]`
+    /// — one destination row accumulating many scaled source rows (the
+    /// inner product shape of a blocked matrix multiply with the reduction
+    /// loop fused).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `srcs` and `scalars` have different lengths, or any
+    /// source row's length differs from `dst`'s.
+    fn mul_row_add_batch(dst: &mut [Self], srcs: &[&[Self]], scalars: &[Self]) {
+        assert_eq!(
+            srcs.len(),
+            scalars.len(),
+            "mul_row_add_batch arity mismatch: {} rows, {} scalars",
+            srcs.len(),
+            scalars.len()
+        );
+        for (src, &s) in srcs.iter().zip(scalars) {
+            Self::mul_row_add(dst, src, s);
+        }
+    }
+
+    /// Batched Algorithm-1 encode over a packed column slab:
+    /// `out = Cᵀ · X`, where `code` is the `ρ × z` coding matrix, `x` is a
+    /// row-major `ρ × width` slab (row `k` holds symbol `k` of `width`
+    /// packed value-columns), and `out` is the row-major `z × width`
+    /// result slab. One call replaces `width` per-column
+    /// [`left_mul_vec`] calls, turning the hot loop into long-row
+    /// [`FastOps::mul_row_add`]s striped [`BATCH_COL_BLOCK`] columns at a
+    /// time. Bit-identical to the per-column path (characteristic-2
+    /// accumulation is exact and order-independent).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `x.len() == code.rows() * width` and
+    /// `out.len() == code.cols() * width`.
+    fn encode_batch(code: &Matrix<Self>, x: &[Self], width: usize, out: &mut [Self]) {
+        let (rho, z) = (code.rows(), code.cols());
+        assert_eq!(
+            x.len(),
+            rho * width,
+            "encode_batch: x slab is {} elements, want {rho} rows × {width}",
+            x.len()
+        );
+        assert_eq!(
+            out.len(),
+            z * width,
+            "encode_batch: out slab is {} elements, want {z} rows × {width}",
+            out.len()
+        );
+        out.fill(Self::ZERO);
+        for j0 in (0..width).step_by(BATCH_COL_BLOCK) {
+            let j1 = (j0 + BATCH_COL_BLOCK).min(width);
+            for r in 0..z {
+                for k in 0..rho {
+                    let s = code[(k, r)];
+                    if !s.is_zero() {
+                        Self::mul_row_add(
+                            &mut out[r * width + j0..r * width + j1],
+                            &x[k * width + j0..k * width + j1],
+                            s,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Batched Algorithm-1 check: recomputes [`FastOps::encode_batch`]
+    /// and compares against the received slab.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same shape mismatches as [`FastOps::encode_batch`],
+    /// plus `expected.len() != code.cols() * width`.
+    fn check_batch(code: &Matrix<Self>, x: &[Self], width: usize, expected: &[Self]) -> bool {
+        assert_eq!(
+            expected.len(),
+            code.cols() * width,
+            "check_batch: expected slab is {} elements, want {} rows × {width}",
+            expected.len(),
+            code.cols()
+        );
+        let mut out = vec![Self::ZERO; code.cols() * width];
+        Self::encode_batch(code, x, width, &mut out);
+        out == expected
+    }
 }
 
 impl FastOps for Gf256 {
@@ -116,12 +212,10 @@ impl FastOps for Gf256 {
                     d.0 ^= x.0;
                 }
             }
-            _ => {
-                let t = bytes::mul_table(s.0);
-                for (d, &x) in dst.iter_mut().zip(src) {
-                    d.0 ^= t[x.0 as usize];
-                }
-            }
+            // `Gf256` is repr(transparent) over `u8`, so the element rows
+            // reinterpret as byte rows and share the SIMD-dispatched byte
+            // kernel with `ByteMatrix`.
+            _ => bytes::mul_row_add(gf256_bytes_mut(dst), gf256_bytes(src), s.0),
         }
     }
 
@@ -129,14 +223,21 @@ impl FastOps for Gf256 {
         match s.0 {
             0 => row.fill(Gf256(0)),
             1 => {}
-            _ => {
-                let t = bytes::mul_table(s.0);
-                for x in row.iter_mut() {
-                    x.0 = t[x.0 as usize];
-                }
-            }
+            _ => bytes::scale_row(gf256_bytes_mut(row), s.0),
         }
     }
+}
+
+/// Reinterprets a `Gf256` slice as raw bytes (sound: repr(transparent)).
+#[inline]
+fn gf256_bytes(s: &[Gf256]) -> &[u8] {
+    unsafe { std::slice::from_raw_parts(s.as_ptr() as *const u8, s.len()) }
+}
+
+/// Mutable variant of [`gf256_bytes`].
+#[inline]
+fn gf256_bytes_mut(s: &mut [Gf256]) -> &mut [u8] {
+    unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr() as *mut u8, s.len()) }
 }
 
 /// Builds the split product tables for one `GF(2^16)` scalar:
@@ -170,6 +271,9 @@ impl FastOps for Gf2_16 {
             for (d, &x) in dst.iter_mut().zip(src) {
                 d.0 ^= x.0;
             }
+        } else if dst.len() >= simd::SIMD_THRESHOLD && simd::gf2_16_mul_row_add(dst, src, s) {
+            // Handled by the detected arch-SIMD tier; `false` (no tier)
+            // falls through to the table loops below.
         } else if dst.len() >= GF2_16_SPLIT_THRESHOLD {
             let (lo, hi) = gf2_16_split_tables(s);
             for (d, &x) in dst.iter_mut().zip(src) {

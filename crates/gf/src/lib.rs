@@ -18,7 +18,12 @@
 //!   and kernelized linear algebra, bit-identical to [`linalg`] but
 //!   table-driven for `GF(256)` and `GF(2^16)`,
 //! - [`bytes`] — row-major `GF(256)` byte-slab storage
-//!   ([`bytes::ByteMatrix`]) with fully table-driven row kernels.
+//!   ([`bytes::ByteMatrix`]) with fully table-driven row kernels,
+//! - [`words`] — row-major `GF(2^16)` word-slab storage
+//!   ([`words::WordMatrix`]) for the batched execution path,
+//! - [`simd`] — the runtime-detected arch-SIMD row-kernel tier
+//!   (nibble-split PSHUFB tables via SSSE3/AVX2 intrinsics, with a
+//!   portable fallback identical in results).
 //!
 //! # Example
 //!
@@ -44,6 +49,8 @@ pub mod kernel;
 pub mod linalg;
 pub mod matrix;
 pub mod poly2;
+pub mod simd;
+pub mod words;
 
 pub use bytes::ByteMatrix;
 pub use field::Field;
@@ -51,3 +58,4 @@ pub use gf256::Gf256;
 pub use gf2m::{Gf2_16, Gf2_32, Gf2m};
 pub use kernel::FastOps;
 pub use matrix::Matrix;
+pub use words::WordMatrix;

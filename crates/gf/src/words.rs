@@ -1,0 +1,279 @@
+//! Row-major `GF(2^16)` word-slab linear algebra — the 16-bit analogue of
+//! [`crate::bytes::ByteMatrix`].
+//!
+//! The batched execution path packs the value-columns of many broadcast
+//! instances/streams into one flat slab so per-edge encode/check becomes a
+//! single blocked matrix multiply over long contiguous rows — the shape
+//! the arch-SIMD row kernels ([`crate::simd`]) are built for. Rows are
+//! contiguous `Gf2_16` (repr(transparent) over `u16`), so every row
+//! operation is one [`FastOps::mul_row_add`] call and inherits whichever
+//! kernel tier the process detected.
+//!
+//! Every operation is bit-identical to the generic
+//! [`crate::matrix::Matrix`] path (pinned by `tests/differential.rs`).
+
+use rand::Rng;
+
+use crate::gf2m::Gf2_16;
+use crate::kernel::FastOps;
+use crate::matrix::Matrix;
+
+/// Column-stripe width for [`WordMatrix::mat_mul`] (elements, i.e. 2 KiB
+/// stripes): keeps destination and source stripes L1-resident for very
+/// wide packed slabs.
+const COL_BLOCK: usize = 1024;
+
+/// A dense row-major `GF(2^16)` matrix stored as a flat word slab.
+///
+/// # Example
+///
+/// ```
+/// use nab_gf::words::WordMatrix;
+/// let i = WordMatrix::identity(3);
+/// let a = WordMatrix::from_fn(3, 3, |r, c| (r * 3 + c) as u16);
+/// assert_eq!(i.mat_mul(&a), a);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct WordMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Gf2_16>,
+}
+
+impl WordMatrix {
+    /// The all-zero `rows × cols` matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        let len = rows
+            .checked_mul(cols)
+            .expect("WordMatrix dimensions overflow usize");
+        WordMatrix {
+            rows,
+            cols,
+            data: vec![Gf2_16(0); len],
+        }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zero(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = Gf2_16(1);
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> u16) -> Self {
+        let mut m = Self::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = Gf2_16(f(r, c));
+            }
+        }
+        m
+    }
+
+    /// A matrix with independently uniform random entries.
+    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        Self::from_fn(rows, cols, |_, _| rng.gen::<u64>() as u16)
+    }
+
+    /// Converts from the generic element representation.
+    pub fn from_matrix(m: &Matrix<Gf2_16>) -> Self {
+        Self::from_fn(m.rows(), m.cols(), |r, c| m[(r, c)].0)
+    }
+
+    /// Converts back to the generic element representation.
+    pub fn to_matrix(&self) -> Matrix<Gf2_16> {
+        Matrix::from_fn(self.rows, self.cols, |r, c| self.data[r * self.cols + c])
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the offending indices) when out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Gf2_16 {
+        assert!(
+            r < self.rows && c < self.cols,
+            "WordMatrix index ({r}, {c}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        self.data[r * self.cols + c]
+    }
+
+    /// Entry setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the offending indices) when out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: Gf2_16) {
+        assert!(
+            r < self.rows && c < self.cols,
+            "WordMatrix index ({r}, {c}) out of bounds for {}x{} matrix",
+            self.rows,
+            self.cols
+        );
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as an element slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[Gf2_16] {
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds ({} rows)",
+            self.rows
+        );
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r` as an element slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [Gf2_16] {
+        assert!(
+            r < self.rows,
+            "row index {r} out of bounds ({} rows)",
+            self.rows
+        );
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Blocked matrix multiplication `self * rhs` on the `GF(2^16)` row
+    /// kernel: i–k–j loop order, striped [`COL_BLOCK`] columns at a time.
+    /// Bit-identical to [`Matrix::mul`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `self.cols() == rhs.rows()`.
+    pub fn mat_mul(&self, rhs: &WordMatrix) -> WordMatrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "mat_mul dim mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Self::zero(self.rows, rhs.cols);
+        let w = rhs.cols;
+        for j0 in (0..w).step_by(COL_BLOCK) {
+            let j1 = (j0 + COL_BLOCK).min(w);
+            for i in 0..self.rows {
+                for k in 0..self.cols {
+                    let s = self.data[i * self.cols + k];
+                    if s.0 != 0 {
+                        Gf2_16::mul_row_add(
+                            &mut out.data[i * w + j0..i * w + j1],
+                            &rhs.data[k * w + j0..k * w + j1],
+                            s,
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Row-vector × matrix product `v * self` (the Algorithm-1 encode
+    /// shape), as whole-row fused multiply-adds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v.len() == self.rows()`.
+    pub fn left_mul_vec(&self, v: &[Gf2_16]) -> Vec<Gf2_16> {
+        assert_eq!(
+            v.len(),
+            self.rows,
+            "left_mul_vec dim mismatch: vector of {} over {} rows",
+            v.len(),
+            self.rows
+        );
+        let mut out = vec![Gf2_16(0); self.cols];
+        for (r, &x) in v.iter().enumerate() {
+            if x.0 != 0 {
+                Gf2_16::mul_row_add(&mut out, self.row(r), x);
+            }
+        }
+        out
+    }
+
+    /// Borrow the whole slab (row-major, rows contiguous).
+    #[inline]
+    pub fn as_slice(&self) -> &[Gf2_16] {
+        &self.data
+    }
+
+    /// Mutably borrow the whole slab (row-major, rows contiguous).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Gf2_16] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::Field;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mat_mul_matches_scalar_matrix() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for (r, k, c) in [(3, 4, 5), (1, 1, 1), (7, 2, 9), (4, 4, COL_BLOCK + 37)] {
+            let a = WordMatrix::random(r, k, &mut rng);
+            let b = WordMatrix::random(k, c, &mut rng);
+            let fast = a.mat_mul(&b);
+            let slow = a.to_matrix().mul(&b.to_matrix());
+            assert_eq!(fast.to_matrix(), slow);
+        }
+    }
+
+    #[test]
+    fn left_mul_vec_matches_scalar() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = WordMatrix::random(5, 40, &mut rng);
+        let v: Vec<Gf2_16> = (0..5).map(|_| Gf2_16::random(&mut rng)).collect();
+        assert_eq!(a.left_mul_vec(&v), a.to_matrix().left_mul_vec(&v));
+    }
+
+    #[test]
+    fn identity_and_accessors() {
+        let i = WordMatrix::identity(4);
+        assert_eq!(i.get(2, 2), Gf2_16(1));
+        assert_eq!(i.get(2, 3), Gf2_16(0));
+        let mut m = WordMatrix::zero(2, 3);
+        m.set(1, 2, Gf2_16(0xABCD));
+        assert_eq!(m.row(1), &[Gf2_16(0), Gf2_16(0), Gf2_16(0xABCD)]);
+        assert_eq!(m.as_slice().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "mat_mul dim mismatch")]
+    fn mat_mul_rejects_bad_shapes() {
+        let a = WordMatrix::zero(2, 3);
+        let b = WordMatrix::zero(2, 3);
+        let _ = a.mat_mul(&b);
+    }
+}

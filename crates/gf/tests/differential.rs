@@ -15,7 +15,7 @@ use nab_gf::field::Field;
 use nab_gf::kernel::{self, scalar_mul_row_add, scalar_scale_row, FastOps};
 use nab_gf::linalg;
 use nab_gf::matrix::Matrix;
-use nab_gf::{Gf256, Gf2_16, Gf2m};
+use nab_gf::{Gf256, Gf2_16, Gf2m, WordMatrix};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -140,6 +140,64 @@ macro_rules! differential_suite {
                     let a = mat::<$ty>(r, c, seed);
                     prop_assert_eq!(kernel::kernel_basis(&a), linalg::kernel_basis(&a));
                 }
+
+                #[test]
+                fn mul_row_add_batch_matches_sequential_scalar(
+                    len in row_len(),
+                    arity in 0usize..6,
+                    seed in any::<u64>(),
+                ) {
+                    let rows: Vec<Vec<$ty>> = (0..arity)
+                        .map(|j| vec_of::<$ty>(len, seed ^ (j as u64)))
+                        .collect();
+                    let srcs: Vec<&[$ty]> = rows.iter().map(|r| r.as_slice()).collect();
+                    let scalars = vec_of::<$ty>(arity, seed ^ 0x5CA1A);
+                    let mut fast = vec_of::<$ty>(len, seed ^ 0xD0);
+                    let mut slow = fast.clone();
+                    <$ty as FastOps>::mul_row_add_batch(&mut fast, &srcs, &scalars);
+                    for (src, &s) in rows.iter().zip(&scalars) {
+                        scalar_mul_row_add(&mut slow, src, s);
+                    }
+                    prop_assert_eq!(fast, slow);
+                }
+
+                #[test]
+                fn encode_batch_matches_per_column_left_mul_vec(
+                    rho in 1usize..6, z in 1usize..6,
+                    // Widths cover the empty batch (0), a single packed
+                    // column (the Q=1 shape), and slabs straddling the
+                    // batch column-block stripe.
+                    width in (0usize..4, 0usize..40).prop_map(|(kind, w)| match kind {
+                        0 => 0,
+                        1 => 1,
+                        2 => w,
+                        _ => kernel::BATCH_COL_BLOCK - 3 + (w % 6),
+                    }),
+                    seed in any::<u64>(),
+                ) {
+                    let code = mat::<$ty>(rho, z, seed);
+                    let x = vec_of::<$ty>(rho * width, seed ^ 0xE0C0);
+                    let mut fast = vec![<$ty>::ZERO; z * width];
+                    <$ty as FastOps>::encode_batch(&code, &x, width, &mut fast);
+                    // Reference: encode each packed column with the scalar
+                    // per-column path, then scatter into the slab layout.
+                    let mut slow = vec![<$ty>::ZERO; z * width];
+                    for col in 0..width {
+                        let v: Vec<$ty> = (0..rho).map(|k| x[k * width + col]).collect();
+                        for (r, y) in code.left_mul_vec(&v).into_iter().enumerate() {
+                            slow[r * width + col] = y;
+                        }
+                    }
+                    prop_assert_eq!(&fast, &slow);
+                    prop_assert!(<$ty as FastOps>::check_batch(&code, &x, width, &fast));
+                    // Any single-symbol tampering must flip the check.
+                    if z * width > 0 {
+                        let mut bad = fast.clone();
+                        let idx = (seed as usize) % bad.len();
+                        bad[idx] = bad[idx].add(<$ty>::ONE);
+                        prop_assert!(!<$ty as FastOps>::check_batch(&code, &x, width, &bad));
+                    }
+                }
             }
         }
     };
@@ -243,5 +301,44 @@ proptest! {
                 .map(|x| x.0)
                 .collect::<Vec<_>>()
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WordMatrix (GF(2^16) word slab) vs. the scalar Matrix<Gf2_16> path.
+// ---------------------------------------------------------------------------
+
+fn word_mat(rows: usize, cols: usize, seed: u64) -> WordMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    WordMatrix::random(rows, cols, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn word_mat_mul_matches_matrix(
+        r in 1usize..8, k in 1usize..8,
+        // Output widths cover both sides of the slab column-block stripe
+        // (the batched-execution shape: few rows, very wide slabs).
+        c in (any::<bool>(), 1usize..12).prop_map(|(wide, c)| if wide { 1018 + c } else { c }),
+        seed in any::<u64>(),
+    ) {
+        let a = word_mat(r, k, seed);
+        let b = word_mat(k, c, seed ^ 0xC0DE);
+        prop_assert_eq!(
+            a.mat_mul(&b).to_matrix(),
+            a.to_matrix().mul(&b.to_matrix())
+        );
+    }
+
+    #[test]
+    fn word_left_mul_vec_matches_matrix(
+        r in 1usize..12, c in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let m = word_mat(r, c, seed);
+        let v = vec_of::<Gf2_16>(r, seed ^ 0xF00D);
+        prop_assert_eq!(m.left_mul_vec(&v), m.to_matrix().left_mul_vec(&v));
     }
 }

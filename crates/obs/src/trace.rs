@@ -64,6 +64,13 @@ pub enum EventKind {
     SweepStart {
         /// Total number of jobs in the sweep grid.
         jobs: u64,
+        /// GF kernel tier selected at runtime (`avx2`, `ssse3`,
+        /// `portable`) — machine-dependent; trace comparisons normalize
+        /// it away.
+        tier: &'static str,
+        /// Detected CPU SIMD features (comma-separated), for perf-trace
+        /// provenance; machine-dependent like `tier`.
+        cpu: &'static str,
     },
     /// The sweep finished (all jobs done, report assembled next).
     SweepEnd,

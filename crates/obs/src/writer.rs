@@ -50,8 +50,12 @@ fn write_jsonl_event(out: &mut String, ev: &Event) {
         ev.kind.name()
     );
     match ev.kind {
-        EventKind::SweepStart { jobs } => {
-            let _ = write!(out, ",\"jobs\":{jobs}");
+        EventKind::SweepStart { jobs, tier, cpu } => {
+            // `tier`/`cpu` are static feature names (no escaping needed).
+            let _ = write!(
+                out,
+                ",\"jobs\":{jobs},\"tier\":\"{tier}\",\"cpu\":\"{cpu}\""
+            );
         }
         EventKind::PhaseStart(p) | EventKind::PhaseEnd(p) => {
             let _ = write!(out, ",\"phase\":\"{}\"", p.name());
@@ -114,8 +118,8 @@ fn write_chrome_event(out: &mut String, ev: &Event) {
                 ev.job, ev.stream
             );
             match ev.kind {
-                EventKind::SweepStart { jobs } => {
-                    let _ = write!(out, ",\"args\":{{\"jobs\":{jobs}}}");
+                EventKind::SweepStart { jobs, tier, .. } => {
+                    let _ = write!(out, ",\"args\":{{\"jobs\":{jobs},\"tier\":\"{tier}\"}}");
                 }
                 EventKind::InstanceStart => {
                     let _ = write!(out, ",\"args\":{{\"instance\":{}}}", ev.instance);
@@ -176,8 +180,17 @@ mod tests {
             "{\"seq\":5,\"ts_ns\":7500,\"job\":2,\"stream\":1,\"instance\":3,\
              \"kind\":\"phase_start\",\"phase\":\"flags\"}"
         );
-        let line = event_to_jsonl(&ev(0, EventKind::SweepStart { jobs: 9 }));
-        assert!(line.ends_with("\"kind\":\"sweep_start\",\"jobs\":9}"));
+        let line = event_to_jsonl(&ev(
+            0,
+            EventKind::SweepStart {
+                jobs: 9,
+                tier: "avx2",
+                cpu: "sse2,avx2",
+            },
+        ));
+        assert!(line.ends_with(
+            "\"kind\":\"sweep_start\",\"jobs\":9,\"tier\":\"avx2\",\"cpu\":\"sse2,avx2\"}"
+        ));
         let line = event_to_jsonl(&ev(1, EventKind::NodeExposed { node: 4 }));
         assert!(line.ends_with("\"kind\":\"node_exposed\",\"node\":4}"));
     }
@@ -185,7 +198,14 @@ mod tests {
     #[test]
     fn chrome_trace_pairs_b_and_e() {
         let events = vec![
-            ev(0, EventKind::SweepStart { jobs: 1 }),
+            ev(
+                0,
+                EventKind::SweepStart {
+                    jobs: 1,
+                    tier: "portable",
+                    cpu: "",
+                },
+            ),
             ev(1, EventKind::JobStart),
             ev(2, EventKind::InstanceStart),
             ev(3, EventKind::PhaseStart(Phase::Phase1)),

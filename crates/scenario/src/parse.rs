@@ -126,13 +126,14 @@ pub fn parse_str(text: &str) -> Result<ScenarioSpec, ParseError> {
                 spec.link_model = nab_net::NetSpec::parse(value).map_err(|e| err(lineno, e))?
             }
             "net" => spec.net = parse_bool(lineno, key, value)?,
+            "batch" => spec.batch = parse_bool(lineno, key, value)?,
             other => {
                 return Err(err(
                     lineno,
                     format!(
                         "unknown key {other:?} (known: name, topology, broadcast, adversary, \
                          faults, q, streams, n, cap, f, symbols, seeds, seed0, bounds, \
-                         bounds_budget, threads, plan_cache, link_model, net)"
+                         bounds_budget, threads, plan_cache, link_model, net, batch)"
                     ),
                 ))
             }
@@ -200,7 +201,7 @@ pub fn to_scenario_string(spec: &ScenarioSpec) -> String {
         "name = {}\ntopology = {}\nbroadcast = {}\nadversary = {}\nfaults = {}\n\
          q = {}\nstreams = {}\nn = {}\ncap = {}\nf = {}\nsymbols = {}\n\
          seeds = {}\nseed0 = {}\nbounds = {}\nbounds_budget = {}\nthreads = {}\n\
-         plan_cache = {}\nlink_model = {}\nnet = {}\n",
+         plan_cache = {}\nlink_model = {}\nnet = {}\nbatch = {}\n",
         spec.name,
         spec.topology.spec_string(),
         broadcast,
@@ -220,6 +221,7 @@ pub fn to_scenario_string(spec: &ScenarioSpec) -> String {
         spec.plan_cache,
         spec.link_model.spec_string(),
         spec.net,
+        spec.batch,
     )
 }
 
@@ -311,6 +313,16 @@ threads = 2
         let s = parse_str("name = x\nplan_cache = off\n").unwrap();
         assert!(!s.plan_cache);
         let e = parse_str("name = x\nplan_cache = maybe\n").unwrap_err();
+        assert!(e.message.contains("bad boolean"), "{e}");
+    }
+
+    #[test]
+    fn batch_key_parses_and_defaults_on() {
+        let s = parse_str("name = x\n").unwrap();
+        assert!(s.batch, "batched execution is on by default");
+        let s = parse_str("name = x\nbatch = off\n").unwrap();
+        assert!(!s.batch);
+        let e = parse_str("name = x\nbatch = 2\n").unwrap_err();
         assert!(e.message.contains("bad boolean"), "{e}");
     }
 

@@ -68,6 +68,12 @@ pub struct ScenarioSpec {
     /// messages in flight) instead of the synchronous formula charges.
     /// Off by default; the CLI `--net` flag switches it on.
     pub net: bool,
+    /// Whether jobs take the batched cross-stream execution path (all
+    /// undisputed streams' equality columns packed into one slab
+    /// multiply per edge). On by default; results are bit-identical
+    /// either way — the toggle (`batch = off`, CLI `--no-batch`) exists
+    /// for A/B benchmarking and the equivalence tests that pin it.
+    pub batch: bool,
 }
 
 impl Default for ScenarioSpec {
@@ -95,6 +101,7 @@ impl Default for ScenarioSpec {
             plan_cache: true,
             link_model: nab_net::NetSpec::default(),
             net: false,
+            batch: true,
         }
     }
 }
@@ -201,6 +208,12 @@ impl ScenarioSpec {
     /// Enables or disables message-level (event-driven) execution.
     pub fn with_net(mut self, on: bool) -> Self {
         self.net = on;
+        self
+    }
+
+    /// Enables or disables batched cross-stream execution.
+    pub fn with_batch(mut self, on: bool) -> Self {
+        self.batch = on;
         self
     }
 

@@ -17,7 +17,7 @@ use std::sync::{Arc, Mutex};
 
 use nab::adversary::NabAdversary;
 use nab::dispute::DisputeState;
-use nab::engine::{instance_correct, NabConfig, NabEngine};
+use nab::engine::{instance_correct, run_instances_batched, NabConfig, NabEngine};
 use nab::plan::{ExecutionPlan, PlanCache};
 use nab::value::{Value, SYMBOL_BITS};
 use nab_netgraph::{DiGraph, NodeId};
@@ -264,6 +264,8 @@ pub fn run_sweep_with_options(
         trace::set_thread_sink(Some(Arc::clone(sink)));
         trace::emit(EventKind::SweepStart {
             jobs: jobs.len() as u64,
+            tier: nab_gf::simd::tier(),
+            cpu: nab_gf::simd::cpu_features(),
         });
     }
     let progress = ProgressState::new(jobs.len());
@@ -570,12 +572,38 @@ fn measure(
     let mut traces: Vec<Vec<(f64, u64, bool)>> = vec![Vec::new(); spec.streams];
 
     for inst in 0..spec.q {
-        for s in 0..spec.streams {
-            trace::set_stream(s as u32);
-            let input = Value::random(job.symbols, &mut input_rngs[s]);
-            let rep = engines[s]
-                .run_instance(&input, faulty, advs[s].as_mut())
+        // One round-robin step: every stream runs instance `inst`. The
+        // batched entry point packs all undisputed streams' equality
+        // columns into one slab multiply per edge (falling back to the
+        // per-stream loop internally once disputes shrink some G_k);
+        // message-level execution retimes streams independently, so it
+        // stays on the per-stream path. Inputs are drawn per stream from
+        // that stream's own RNG either way — identical values.
+        let step: Vec<(Value, nab::InstanceReport)> = if spec.batch && !spec.net {
+            let inputs: Vec<Value> = input_rngs
+                .iter_mut()
+                .map(|rng| Value::random(job.symbols, rng))
+                .collect();
+            let mut adv_refs: Vec<&mut dyn NabAdversary> = advs
+                .iter_mut()
+                .map(|a| &mut **a as &mut dyn NabAdversary)
+                .collect();
+            let reps = run_instances_batched(&mut engines, &inputs, faulty, &mut adv_refs)
                 .map_err(|e| format!("instance failed: {e}"))?;
+            inputs.into_iter().zip(reps).collect()
+        } else {
+            let mut step = Vec::with_capacity(spec.streams);
+            for s in 0..spec.streams {
+                trace::set_stream(s as u32);
+                let input = Value::random(job.symbols, &mut input_rngs[s]);
+                let rep = engines[s]
+                    .run_instance(&input, faulty, advs[s].as_mut())
+                    .map_err(|e| format!("instance failed: {e}"))?;
+                step.push((input, rep));
+            }
+            step
+        };
+        for (s, (input, rep)) in step.iter().enumerate() {
             let global_inst = inst * spec.streams + s;
             if global_inst == 0 {
                 metrics.gamma1 = rep.gamma_k;
@@ -590,7 +618,7 @@ fn measure(
             metrics.equality_time += rep.times.equality;
             metrics.flags_time += rep.times.flags;
             metrics.dispute_time += rep.times.dispute;
-            metrics.latency.record_instance(&rep);
+            metrics.latency.record_instance(rep);
             if let (Some(acc), Some(d)) = (metrics.delivered.as_mut(), rep.delivered.as_ref()) {
                 acc.merge(d);
             }
@@ -602,7 +630,7 @@ fn measure(
             }
             traces[s].push((t, useful_bits, rep.dispute_ran));
 
-            if !instance_correct(&rep, faulty, &input) {
+            if !instance_correct(rep, faulty, input) {
                 metrics.all_correct = false;
             }
         }
@@ -763,7 +791,7 @@ mod tests {
         assert_eq!(
             events
                 .iter()
-                .filter(|e| matches!(e.kind, EventKind::SweepStart { jobs: 8 }))
+                .filter(|e| matches!(e.kind, EventKind::SweepStart { jobs: 8, .. }))
                 .count(),
             1
         );

@@ -62,6 +62,11 @@ SCENARIO MODE:
                         latency/jitter/loss on every link (the file's
                         `link_model` key; see docs/network-sim.md).
                         Overrides the file's `net` key to on
+    --no-batch          disable the batched cross-stream execution path
+                        (one slab multiply per edge for all undisputed
+                        streams' equality columns); results are
+                        byte-identical either way (see docs/perf.md).
+                        Overrides the file's `batch` key to off
     --json PATH         write the full sweep report as JSON (- = stdout)
     --timings           include measured wall-clock wall_*_ns, plan-cache,
                         latency-percentile, and metrics fields in the JSON
@@ -128,6 +133,7 @@ struct Args {
     trace_format: Option<TraceFormat>,
     progress: bool,
     net: bool,
+    no_batch: bool,
     topology: String,
     f: usize,
     symbols: usize,
@@ -150,6 +156,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         trace_format: None,
         progress: false,
         net: false,
+        no_batch: false,
         topology: "complete:4:2".into(),
         f: 1,
         symbols: 64,
@@ -173,7 +180,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         "--broadcast",
         "--bounds",
     ];
-    const SCENARIO_ONLY: [&str; 7] = [
+    const SCENARIO_ONLY: [&str; 8] = [
         "--threads",
         "--json",
         "--timings",
@@ -181,6 +188,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         "--trace-format",
         "--progress",
         "--net",
+        "--no-batch",
     ];
     let mut single_flags: Vec<&'static str> = Vec::new();
     let mut scenario_flags: Vec<&'static str> = Vec::new();
@@ -236,6 +244,7 @@ fn parse_args() -> Result<Option<Args>, String> {
             }
             "--progress" => args.progress = true,
             "--net" => args.net = true,
+            "--no-batch" => args.no_batch = true,
             "--topology" => args.topology = take(&mut i)?,
             "--f" => args.f = take(&mut i)?.parse().map_err(|e| format!("--f: {e}"))?,
             "--symbols" => {
@@ -433,6 +442,9 @@ fn run_scenario_mode(args: &Args) -> Result<ExitCode, String> {
     let mut spec = scenario::load(path).map_err(|e| format!("{path}: {e}"))?;
     if args.net {
         spec.net = true;
+    }
+    if args.no_batch {
+        spec.batch = false;
     }
     let threads = args.threads.unwrap_or(spec.threads);
     eprintln!(

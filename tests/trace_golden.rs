@@ -25,9 +25,28 @@ fn zero_after(s: &str, key: &str) -> String {
     out
 }
 
-/// Strips the wall-clock payloads that legitimately vary run to run.
+/// Blanks the quoted string value following every occurrence of `key`
+/// (used for machine-dependent payloads like the SIMD tier), leaving
+/// everything else byte-for-byte intact.
+fn blank_string_after(s: &str, key: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(p) = rest.find(key) {
+        let end = p + key.len();
+        out.push_str(&rest[..end]);
+        let tail = &rest[end..];
+        let value = tail.chars().take_while(|&c| c != '"').count();
+        rest = &tail[value..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Strips the payloads that legitimately vary run to run (wall-clock)
+/// or machine to machine (SIMD tier / CPU features).
 fn normalize(s: &str) -> String {
-    zero_after(&zero_after(s, "\"ts_ns\":"), "\"build_ns\":")
+    let s = zero_after(&zero_after(s, "\"ts_ns\":"), "\"build_ns\":");
+    blank_string_after(&blank_string_after(&s, "\"tier\":\""), "\"cpu\":\"")
 }
 
 #[test]
@@ -70,5 +89,16 @@ fn normalize_only_touches_wall_clock_payloads() {
         normalize(line),
         "{\"seq\":3,\"ts_ns\":0,\"job\":0,\"stream\":0,\"instance\":0,\
          \"kind\":\"plan_built\",\"build_ns\":0}"
+    );
+}
+
+#[test]
+fn normalize_blanks_machine_dependent_sweep_start_payloads() {
+    let line = "{\"seq\":0,\"ts_ns\":12,\"job\":0,\"stream\":0,\"instance\":0,\
+                \"kind\":\"sweep_start\",\"jobs\":9,\"tier\":\"avx2\",\"cpu\":\"sse2,avx2\"}";
+    assert_eq!(
+        normalize(line),
+        "{\"seq\":0,\"ts_ns\":0,\"job\":0,\"stream\":0,\"instance\":0,\
+         \"kind\":\"sweep_start\",\"jobs\":9,\"tier\":\"\",\"cpu\":\"\"}"
     );
 }
