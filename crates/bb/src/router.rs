@@ -8,16 +8,42 @@
 //! a virtual complete graph on which classic BB protocols run unchanged.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, RwLock};
 
-use nab_netgraph::connectivity::vertex_disjoint_paths;
+use nab_netgraph::connectivity::{
+    strongly_connected, vertex_connectivity_at_least, vertex_disjoint_paths,
+};
 use nab_netgraph::{DiGraph, NodeId};
 use nab_sim::NetSim;
 
-/// Routes logical unicasts over pre-computed vertex-disjoint path systems.
-#[derive(Debug, Clone)]
+/// Routes logical unicasts over vertex-disjoint path systems, computed
+/// lazily per ordered pair.
+///
+/// Eager all-pairs routing is `O(n²)` max-flows before the first instance
+/// can run — the planning wall at datacenter scale. [`PathRouter::build`]
+/// now only proves the `2f+1`-connectivity precondition (so path existence
+/// is guaranteed by Menger's theorem) and each pair's paths are extracted on
+/// first use, memoized behind a lock. The extraction is deterministic per
+/// pair, so lazy evaluation is invisible to results regardless of which
+/// thread routes a pair first.
+/// Memoized disjoint-path sets per ordered `(src, dst)` pair.
+type PairPaths = BTreeMap<(NodeId, NodeId), Arc<Vec<Vec<NodeId>>>>;
+
+#[derive(Debug)]
 pub struct PathRouter {
-    paths: BTreeMap<(NodeId, NodeId), Vec<Vec<NodeId>>>,
+    g: DiGraph,
+    paths: RwLock<PairPaths>,
     copies: usize,
+}
+
+impl Clone for PathRouter {
+    fn clone(&self) -> Self {
+        PathRouter {
+            g: self.g.clone(),
+            paths: RwLock::new(self.paths.read().expect("router lock poisoned").clone()),
+            copies: self.copies,
+        }
+    }
 }
 
 /// A payload in flight along one path: the logical value plus routing
@@ -35,26 +61,26 @@ pub struct Routed<V> {
 }
 
 impl PathRouter {
-    /// Builds `2f + 1` vertex-disjoint paths between every ordered pair of
-    /// active nodes.
+    /// Prepares `2f + 1`-disjoint-path routing between every ordered pair
+    /// of active nodes.
     ///
-    /// Returns `None` if the graph's connectivity is insufficient for some
-    /// pair — i.e. the network violates the paper's `2f+1`-connectivity
-    /// assumption.
+    /// Returns `None` if the graph's vertex connectivity is below `2f + 1`
+    /// — i.e. the network violates the paper's connectivity assumption.
+    /// When it holds, Menger's theorem guarantees every pair has the
+    /// required paths, so they are extracted lazily on first use instead of
+    /// eagerly for all `n(n−1)` pairs.
     pub fn build(g: &DiGraph, f: usize) -> Option<Self> {
         let copies = 2 * f + 1;
-        let nodes: Vec<NodeId> = g.nodes().collect();
-        let mut paths = BTreeMap::new();
-        for &s in &nodes {
-            for &t in &nodes {
-                if s == t {
-                    continue;
-                }
-                let p = vertex_disjoint_paths(g, s, t, copies)?;
-                paths.insert((s, t), p);
-            }
-        }
-        Some(PathRouter { paths, copies })
+        let routable = if f == 0 {
+            strongly_connected(g)
+        } else {
+            vertex_connectivity_at_least(g, copies as u64)
+        };
+        routable.then(|| PathRouter {
+            g: g.clone(),
+            paths: RwLock::new(BTreeMap::new()),
+            copies,
+        })
     }
 
     /// Number of copies (`2f + 1`) each unicast travels on.
@@ -62,13 +88,30 @@ impl PathRouter {
         self.copies
     }
 
-    /// The disjoint paths used for the ordered pair.
+    /// The disjoint paths used for the ordered pair, computing and
+    /// memoizing them on first use.
     ///
     /// # Panics
     ///
-    /// Panics if the pair was not routed (inactive node).
-    pub fn paths_for(&self, s: NodeId, t: NodeId) -> &[Vec<NodeId>] {
-        &self.paths[&(s, t)]
+    /// Panics if the pair cannot be routed (inactive node).
+    pub fn paths_for(&self, s: NodeId, t: NodeId) -> Arc<Vec<Vec<NodeId>>> {
+        if let Some(p) = self
+            .paths
+            .read()
+            .expect("router lock poisoned")
+            .get(&(s, t))
+        {
+            return Arc::clone(p);
+        }
+        let p = Arc::new(
+            vertex_disjoint_paths(&self.g, s, t, self.copies)
+                .expect("connectivity was proven at build time"),
+        );
+        let mut map = self.paths.write().expect("router lock poisoned");
+        // Another thread may have raced us here; keep the first entry so
+        // every caller shares one allocation (both computations are
+        // identical anyway — extraction is deterministic).
+        Arc::clone(map.entry((s, t)).or_insert(p))
     }
 
     /// Performs one reliable unicast of `value` (`bits` wide) from `origin`
@@ -96,12 +139,9 @@ impl PathRouter {
         V: Clone + Eq,
         FC: FnMut(NodeId, &V) -> V,
     {
-        let paths = &self.paths[&(origin, target)];
+        let paths = self.paths_for(origin, target);
         // Current position and carried value per copy.
-        let mut carried: Vec<V> = Vec::with_capacity(paths.len());
-        for _ in paths {
-            carried.push(value.clone());
-        }
+        let mut carried: Vec<V> = vec![value.clone(); paths.len()];
         let max_hops = paths.iter().map(|p| p.len() - 1).max().unwrap_or(0);
         for hop in 0..max_hops {
             for (idx, path) in paths.iter().enumerate() {
@@ -247,8 +287,10 @@ mod tests {
         let router = PathRouter::build(&g, 1).unwrap();
         let paths = router.paths_for(0, 4);
         assert_eq!(paths.len(), 3);
+        // A second lookup shares the memoized allocation.
+        assert!(Arc::ptr_eq(&paths, &router.paths_for(0, 4)));
         let mut internal = std::collections::HashSet::new();
-        for p in paths {
+        for p in paths.iter() {
             for &v in &p[1..p.len() - 1] {
                 assert!(internal.insert(v));
             }

@@ -37,7 +37,14 @@ use rand::SeedableRng;
 /// tier and CPU features), batched-op cases (`mul_row_add_batch`,
 /// `encode_batch`, `check_batch`, word-slab `mat_mul`) with SIMD tier
 /// names, and min-of-[`MIN_REPS`] timing per case.
-pub const SCHEMA_VERSION: u64 = 4;
+/// v5: the `plan_repair` A/B section (dispute-heavy replanning with
+/// incremental repair on vs. off), disk-tier fields in the `plan_cache`
+/// section (`disk_scenario`, `disk_grid_points`, `disk_cold_wall_ns`,
+/// `disk_warm_wall_ns`, `disk_hits`, `disk_stores` — the `dc-grid`
+/// planning pass, built+persisted vs. loaded), and per-job/aggregate
+/// `plan_repairs` / `plan_full_recomputes` / `plan_repair_ns` counters
+/// inside the embedded timed sweep.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Repetitions of every timed loop; the reported `total_ns` is the
 /// **minimum** over these (min-of-N filters scheduler and frequency
@@ -51,6 +58,17 @@ pub const SWEEP_SCENARIO: &str = include_str!("../../../scenarios/complete-sweep
 /// The scenario the plan-cache benchmark runs: the 120-job `scale-grid`,
 /// whose 12 distinct networks make plan sharing measurable.
 pub const PLAN_CACHE_SCENARIO: &str = include_str!("../../../scenarios/scale-grid.scenario");
+
+/// The scenario the plan-repair benchmark runs: `dispute-storm`, where a
+/// fixed corruptor raises disputes in the first instances and every later
+/// instance replans on the shrunken `G_k` (plus a degrade schedule that
+/// migrates plans mid-job).
+pub const PLAN_REPAIR_SCENARIO: &str = include_str!("../../../scenarios/dispute-storm.scenario");
+
+/// The scenario whose planning pass the disk-tier benchmark times: the
+/// 1024-node `dc-grid` torus, where plan construction — not execution —
+/// is the cold-start cost the persistent cache exists to amortize.
+pub const PLAN_DISK_SCENARIO: &str = include_str!("../../../scenarios/dc-grid.scenario");
 
 /// One timed GF micro-benchmark case.
 #[derive(Debug, Clone)]
@@ -429,20 +447,66 @@ pub struct PlanCacheBench {
     pub plan_hits: u64,
     /// Wall ns the fresh-cache run spent building plans.
     pub plan_build_ns: u64,
-    /// Whether all three runs produced byte-identical canonical JSON
+    /// Scenario whose *planning pass* the disk-tier timings measure
+    /// (`dc-grid`: 1024-node torus — the regime where planning, not
+    /// execution, dominates cold start).
+    pub disk_scenario: String,
+    /// Grid points planned per disk-tier pass.
+    pub disk_grid_points: usize,
+    /// Wall ns to plan every grid point with a fresh disk-backed cache
+    /// over an empty directory: every distinct plan is built *and*
+    /// persisted (write-then-rename) — the no-cache cold start plus
+    /// persistence overhead.
+    pub disk_cold_wall_ns: u64,
+    /// Wall ns of the same planning pass in a fresh process-equivalent
+    /// cache over the populated directory: in-memory cache empty, every
+    /// plan loaded (and re-verified) from disk instead of built.
+    pub disk_warm_wall_ns: u64,
+    /// Plans loaded from disk during the disk-warm pass.
+    pub disk_hits: u64,
+    /// Plans persisted during the disk-cold pass.
+    pub disk_stores: u64,
+    /// Whether all runs produced byte-identical canonical JSON
     /// (the tentpole guarantee; recorded so a regression is visible in
     /// the committed baseline).
     pub reports_identical: bool,
 }
 
-/// Runs the plan-cache comparison on the `scale-grid` scenario.
+/// Runs the plan-cache comparison on the `scale-grid` scenario, plus the
+/// disk-tier A/B on the `dc-grid` planning pass (build+persist vs. load
+/// at 1024 nodes — the cold-start cost the disk cache amortizes).
 ///
-/// `quick` shrinks the grid to a smoke-sized subset that still contains
+/// `quick` shrinks the grids to smoke-sized subsets that still contain
 /// duplicate networks (so hits stay observable).
 ///
 /// # Errors
 ///
 /// Returns the scenario parse/validation failure, if any.
+/// Plans every grid point of `spec` through `cache` — the `--validate`
+/// code path without the printing. Returns the number of grid points.
+fn plan_grid(
+    spec: &nab_scenario::ScenarioSpec,
+    cache: &nab::plan::PlanCache,
+) -> Result<usize, String> {
+    let jobs = nab_scenario::sweep::expand_jobs(spec);
+    for job in &jobs {
+        let ctx = nab_scenario::topology::ResolveCtx {
+            n: job.n,
+            cap: job.cap,
+            f: job.f,
+            seed: job.seed,
+        };
+        let g = spec
+            .topology
+            .build(&ctx)
+            .map_err(|e| format!("{} grid point {}: {e}", spec.name, job.index))?;
+        cache
+            .fetch(&g, job.f)
+            .map_err(|e| format!("{} grid point {}: {e}", spec.name, job.index))?;
+    }
+    Ok(jobs.len())
+}
+
 pub fn run_plan_cache_bench(quick: bool, threads: usize) -> Result<PlanCacheBench, String> {
     let mut spec = parse_str(PLAN_CACHE_SCENARIO).map_err(|e| e.to_string())?;
     if quick {
@@ -476,6 +540,44 @@ pub fn run_plan_cache_bench(quick: bool, threads: usize) -> Result<PlanCacheBenc
     let warm = nab_scenario::run_sweep_with_cache(&spec, resolved, Some(&cache))?;
     let cache_warm_wall_ns = t0.elapsed().as_nanos() as u64;
 
+    // Disk tier, identity half: run the same sweep through a disk-backed
+    // cache (empty directory, then the populated one) and fold both
+    // reports into the byte-identity check — the disk path must never
+    // perturb results.
+    let dir = std::env::temp_dir().join(format!("nab-plan-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let disk_sweep_cold_cache = nab::plan::PlanCache::with_dir(&dir);
+    let disk_cold =
+        nab_scenario::run_sweep_with_cache(&spec, resolved, Some(&disk_sweep_cold_cache))?;
+    let disk_sweep_warm_cache = nab::plan::PlanCache::with_dir(&dir);
+    let disk_warm =
+        nab_scenario::run_sweep_with_cache(&spec, resolved, Some(&disk_sweep_warm_cache))?;
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Disk tier, timing half: the datacenter-scale `dc-grid` planning
+    // pass — plan every grid point against an empty directory (build +
+    // persist), then again from a fresh cache over the populated one
+    // (load + verify). Execution is deliberately absent: the disk tier
+    // amortizes cold-start *planning*, which at 1024 nodes dwarfs a plan
+    // load; timing the whole sweep would mostly measure execution.
+    let mut disk_spec = parse_str(PLAN_DISK_SCENARIO).map_err(|e| e.to_string())?;
+    if quick {
+        disk_spec.cap.truncate(1);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let disk_cold_cache = nab::plan::PlanCache::with_dir(&dir);
+    let t0 = Instant::now();
+    let disk_grid_points = plan_grid(&disk_spec, &disk_cold_cache)?;
+    let disk_cold_wall_ns = t0.elapsed().as_nanos() as u64;
+    let disk_stores = disk_cold_cache.stats().disk_stores;
+
+    let disk_warm_cache = nab::plan::PlanCache::with_dir(&dir);
+    let t0 = Instant::now();
+    plan_grid(&disk_spec, &disk_warm_cache)?;
+    let disk_warm_wall_ns = t0.elapsed().as_nanos() as u64;
+    let disk_hits = disk_warm_cache.stats().disk_hits;
+    let _ = std::fs::remove_dir_all(&dir);
+
     let reference = cold.to_json();
     Ok(PlanCacheBench {
         scenario: spec.name.clone(),
@@ -487,7 +589,94 @@ pub fn run_plan_cache_bench(quick: bool, threads: usize) -> Result<PlanCacheBenc
         plan_misses: stats.misses,
         plan_hits: stats.hits,
         plan_build_ns: stats.build_ns,
-        reports_identical: reference == cached.to_json() && reference == warm.to_json(),
+        disk_scenario: disk_spec.name.clone(),
+        disk_grid_points,
+        disk_cold_wall_ns,
+        disk_warm_wall_ns,
+        disk_hits,
+        disk_stores,
+        reports_identical: reference == cached.to_json()
+            && reference == warm.to_json()
+            && reference == disk_cold.to_json()
+            && reference == disk_warm.to_json(),
+    })
+}
+
+/// The incremental plan-repair A/B: the same dispute-heavy sweep run
+/// with `plan_repair` on (witness-incremental packer + memoized `G_k`
+/// derivations) and off (full recompute on every disputed instance).
+#[derive(Debug, Clone)]
+pub struct PlanRepairBench {
+    /// Scenario name the comparison ran.
+    pub scenario: String,
+    /// Jobs in the sweep grid.
+    pub jobs: usize,
+    /// Worker threads used for both runs.
+    pub threads: usize,
+    /// Total sweep wall ns with repair on.
+    pub repair_wall_ns: u64,
+    /// Total sweep wall ns with repair off.
+    pub norepair_wall_ns: u64,
+    /// Replanning ns with repair on (the acceptance metric's numerator
+    /// base: repairs + the forced full recomputes).
+    pub repair_replan_ns: u64,
+    /// Replanning ns with repair off (every disputed instance recomputes).
+    pub norepair_replan_ns: u64,
+    /// Derivations resolved by incremental repair (repair-on run).
+    pub repairs: u64,
+    /// Forced full recomputes (repair-on run: γ/ρ changed or migration).
+    pub full_recomputes: u64,
+    /// Full recomputes in the repair-off run.
+    pub norepair_recomputes: u64,
+    /// Whether both runs produced byte-identical canonical JSON.
+    pub reports_identical: bool,
+}
+
+/// Runs the plan-repair comparison on the `dispute-storm` scenario.
+///
+/// `quick` shrinks the grid while keeping the dispute-then-long-tail
+/// shape that makes replanning measurable.
+///
+/// # Errors
+///
+/// Returns the scenario parse/validation failure, if any.
+pub fn run_plan_repair_bench(quick: bool, threads: usize) -> Result<PlanRepairBench, String> {
+    let mut spec = parse_str(PLAN_REPAIR_SCENARIO).map_err(|e| e.to_string())?;
+    if quick {
+        spec.q = spec.q.min(10);
+        spec.seeds = spec.seeds.min(2);
+        spec.n.truncate(1);
+    }
+    let resolved = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+
+    spec.plan_repair = true;
+    let t0 = Instant::now();
+    let on = nab_scenario::sweep::run_sweep(&spec, resolved)?;
+    let repair_wall_ns = t0.elapsed().as_nanos() as u64;
+
+    spec.plan_repair = false;
+    let t0 = Instant::now();
+    let off = nab_scenario::sweep::run_sweep(&spec, resolved)?;
+    let norepair_wall_ns = t0.elapsed().as_nanos() as u64;
+
+    Ok(PlanRepairBench {
+        scenario: spec.name.clone(),
+        jobs: spec.job_count(),
+        threads: resolved,
+        repair_wall_ns,
+        norepair_wall_ns,
+        repair_replan_ns: on.aggregate.plan_repair_ns,
+        norepair_replan_ns: off.aggregate.plan_repair_ns,
+        repairs: on.aggregate.plan_repairs,
+        full_recomputes: on.aggregate.plan_full_recomputes,
+        norepair_recomputes: off.aggregate.plan_full_recomputes,
+        reports_identical: on.to_json() == off.to_json(),
     })
 }
 
@@ -515,14 +704,16 @@ fn percentiles_json(latency: &PhaseLatency) -> Json {
 
 /// Renders the sweep benchmark report (`BENCH_sweep.json`): run metadata,
 /// per-phase latency percentiles, the full timed sweep report (per-job
-/// `wall_*_ns`, latency histograms, and plan-cache stats included), and
-/// the cold-vs-cached `plan_cache` comparison.
+/// `wall_*_ns`, latency histograms, plan-cache and plan-repair stats
+/// included), the cold-vs-cached-vs-disk `plan_cache` comparison, and
+/// the repair-on-vs-off `plan_repair` comparison.
 pub fn sweep_report_json(
     report: &SweepReport,
     wall_ns: u64,
     threads: usize,
     quick: bool,
     plan_cache: &PlanCacheBench,
+    plan_repair: &PlanRepairBench,
 ) -> Json {
     Json::obj(vec![
         ("report", Json::str("sweep")),
@@ -549,9 +740,43 @@ pub fn sweep_report_json(
                 ("plan_misses", Json::U64(plan_cache.plan_misses)),
                 ("plan_hits", Json::U64(plan_cache.plan_hits)),
                 ("plan_build_ns", Json::U64(plan_cache.plan_build_ns)),
+                ("disk_scenario", Json::str(&plan_cache.disk_scenario)),
+                (
+                    "disk_grid_points",
+                    Json::U64(plan_cache.disk_grid_points as u64),
+                ),
+                ("disk_cold_wall_ns", Json::U64(plan_cache.disk_cold_wall_ns)),
+                ("disk_warm_wall_ns", Json::U64(plan_cache.disk_warm_wall_ns)),
+                ("disk_hits", Json::U64(plan_cache.disk_hits)),
+                ("disk_stores", Json::U64(plan_cache.disk_stores)),
                 (
                     "reports_identical",
                     Json::Bool(plan_cache.reports_identical),
+                ),
+            ]),
+        ),
+        (
+            "plan_repair",
+            Json::obj(vec![
+                ("scenario", Json::str(&plan_repair.scenario)),
+                ("jobs", Json::U64(plan_repair.jobs as u64)),
+                ("threads", Json::U64(plan_repair.threads as u64)),
+                ("repair_wall_ns", Json::U64(plan_repair.repair_wall_ns)),
+                ("norepair_wall_ns", Json::U64(plan_repair.norepair_wall_ns)),
+                ("repair_replan_ns", Json::U64(plan_repair.repair_replan_ns)),
+                (
+                    "norepair_replan_ns",
+                    Json::U64(plan_repair.norepair_replan_ns),
+                ),
+                ("repairs", Json::U64(plan_repair.repairs)),
+                ("full_recomputes", Json::U64(plan_repair.full_recomputes)),
+                (
+                    "norepair_recomputes",
+                    Json::U64(plan_repair.norepair_recomputes),
+                ),
+                (
+                    "reports_identical",
+                    Json::Bool(plan_repair.reports_identical),
                 ),
             ]),
         ),
@@ -589,7 +814,7 @@ mod tests {
             total_ns: 1234,
         }];
         let j = gf_report_json(&cases, true).render();
-        assert!(j.starts_with("{\"report\":\"gf\",\"schema\":4,\"quick\":true,\"tier\":\""));
+        assert!(j.starts_with("{\"report\":\"gf\",\"schema\":5,\"quick\":true,\"tier\":\""));
         for key in [
             "\"cpu\":\"",
             "\"cases\":[",
@@ -654,6 +879,28 @@ mod tests {
             plan_misses: 4,
             plan_hits: 4,
             plan_build_ns: 50,
+            disk_scenario: "dc-grid".into(),
+            disk_grid_points: 2,
+            disk_cold_wall_ns: 250,
+            disk_warm_wall_ns: 120,
+            disk_hits: 4,
+            disk_stores: 4,
+            reports_identical: true,
+        }
+    }
+
+    fn fixture_plan_repair_bench() -> PlanRepairBench {
+        PlanRepairBench {
+            scenario: "dispute-storm".into(),
+            jobs: 4,
+            threads: 2,
+            repair_wall_ns: 400,
+            norepair_wall_ns: 900,
+            repair_replan_ns: 60,
+            norepair_replan_ns: 500,
+            repairs: 5,
+            full_recomputes: 2,
+            norepair_recomputes: 40,
             reports_identical: true,
         }
     }
@@ -664,9 +911,16 @@ mod tests {
         assert_eq!(threads, 2, "explicit thread counts pass through");
         assert!(report.aggregate.ok_jobs > 0);
         assert!(report.aggregate.all_correct);
-        let j = sweep_report_json(&report, wall_ns, threads, true, &fixture_plan_cache_bench())
-            .render();
-        assert!(j.starts_with("{\"report\":\"sweep\",\"schema\":4"));
+        let j = sweep_report_json(
+            &report,
+            wall_ns,
+            threads,
+            true,
+            &fixture_plan_cache_bench(),
+            &fixture_plan_repair_bench(),
+        )
+        .render();
+        assert!(j.starts_with("{\"report\":\"sweep\",\"schema\":5"));
         assert!(
             j.contains("\"wall_total_ns\":"),
             "timed sweep embedded: {j}"
@@ -701,8 +955,24 @@ mod tests {
             "\"plan_cache\":{\"scenario\":\"scale-grid\",\"jobs\":8,\"threads\":2,\
              \"cold_wall_ns\":300,\"cache_cold_wall_ns\":200,\"cache_warm_wall_ns\":100,\
              \"plan_misses\":4,\"plan_hits\":4,\"plan_build_ns\":50,\
+             \"disk_scenario\":\"dc-grid\",\"disk_grid_points\":2,\
+             \"disk_cold_wall_ns\":250,\"disk_warm_wall_ns\":120,\
+             \"disk_hits\":4,\"disk_stores\":4,\
              \"reports_identical\":true}"
         ));
+        assert!(j.contains(
+            "\"plan_repair\":{\"scenario\":\"dispute-storm\",\"jobs\":4,\"threads\":2,\
+             \"repair_wall_ns\":400,\"norepair_wall_ns\":900,\
+             \"repair_replan_ns\":60,\"norepair_replan_ns\":500,\
+             \"repairs\":5,\"full_recomputes\":2,\"norepair_recomputes\":40,\
+             \"reports_identical\":true}"
+        ));
+        // The v5 timed sweep carries the per-job repair counters.
+        assert!(j.contains("\"plan_repairs\":"), "repair counters: {j}");
+        assert!(
+            j.contains("\"plan_full_recomputes\":"),
+            "recompute counters: {j}"
+        );
         assert!(j.contains("\"sweep\":{\"scenario\":\"complete-sweep\""));
     }
 
@@ -717,9 +987,40 @@ mod tests {
             "duplicate networks must hit the cache: {b:?}"
         );
         assert!(b.plan_build_ns > 0);
+        assert_eq!(b.disk_scenario, "dc-grid");
+        assert!(b.disk_grid_points >= 1, "dc-grid plans at least once");
+        assert!(b.disk_stores > 0, "disk-cold pass persists plans: {b:?}");
+        assert_eq!(
+            b.disk_hits, b.disk_stores,
+            "warm pass loads every persisted plan: {b:?}"
+        );
+        assert!(
+            b.disk_warm_wall_ns < b.disk_cold_wall_ns,
+            "loading a 1024-node plan beats building it: {b:?}"
+        );
         assert!(
             b.reports_identical,
             "cache state must not perturb canonical JSON"
+        );
+    }
+
+    #[test]
+    fn quick_plan_repair_bench_repairs_and_stays_identical() {
+        let b = run_plan_repair_bench(true, 2).expect("dispute-storm runs");
+        assert_eq!(b.scenario, "dispute-storm");
+        assert!(b.jobs >= 2);
+        assert!(
+            b.repairs + b.full_recomputes > 0,
+            "disputes must force derivations: {b:?}"
+        );
+        assert!(
+            b.norepair_recomputes > b.repairs + b.full_recomputes,
+            "repair must collapse derivations: {b:?}"
+        );
+        assert!(b.repair_replan_ns > 0 && b.norepair_replan_ns > 0);
+        assert!(
+            b.reports_identical,
+            "repair mode must not perturb canonical JSON"
         );
     }
 

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use nab_bb::baselines::RoutedChannel;
 use nab_bb::router::Routed;
-use nab_netgraph::arborescence::{pack_arborescences, Arborescence};
+use nab_netgraph::arborescence::{pack_arborescences, pack_arborescences_naive, Arborescence};
 use nab_netgraph::{DiGraph, NodeId};
 use nab_obs::trace::{self, EventKind, InstanceSpan, Phase, PhaseSpan};
 use nab_sim::NetSim;
@@ -205,6 +205,48 @@ pub struct InstanceReport {
     pub delivered: Option<DeliveredTimes>,
 }
 
+/// Counters for per-`G_k` replanning work (see
+/// [`NabEngine::repair_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Replans resolved by incremental repair: the γ/ρ bounds survived the
+    /// dispute, so the packing was patched by the witness-incremental
+    /// packer without touching the bounds.
+    pub repairs: u64,
+    /// Replans where a γ or ρ bound actually changed, forcing the full
+    /// recompute fallback.
+    pub full_recomputes: u64,
+    /// Total wall nanoseconds spent replanning (repairs + recomputes).
+    pub repair_ns: u64,
+}
+
+impl RepairStats {
+    /// Accumulates another engine's counters (sweep aggregation).
+    pub fn accumulate(&mut self, other: &RepairStats) {
+        self.repairs += other.repairs;
+        self.full_recomputes += other.full_recomputes;
+        self.repair_ns += other.repair_ns;
+    }
+}
+
+/// Memoized per-`G_k` planning artifacts, keyed by the dispute state that
+/// produced them. Derivation is a deterministic function of
+/// `(G_1, pairs, removed)`, so reuse across instances is bit-identical to
+/// recomputing every time — it only removes redundant work.
+#[derive(Debug, Clone)]
+struct GkMemo {
+    pairs: BTreeSet<Pair>,
+    removed: BTreeSet<NodeId>,
+    gamma: u64,
+    trees: Arc<Vec<Arborescence>>,
+    /// `ρ_k`, filled lazily on the first instance that reaches Phase 2
+    /// under this dispute state (earlier phases never need it).
+    rho: Option<u64>,
+    /// Whether this derivation was counted as a repair (γ unchanged); a
+    /// later ρ change reclassifies it as a full recompute.
+    counted_repair: bool,
+}
+
 /// The NAB protocol engine (execution layer).
 ///
 /// Create one engine per deployment and call
@@ -220,6 +262,9 @@ pub struct NabEngine {
     instance: usize,
     broadcast: BroadcastKind,
     net: Option<NetExec>,
+    repair: bool,
+    memo: Option<GkMemo>,
+    repair_stats: RepairStats,
 }
 
 impl NabEngine {
@@ -256,7 +301,66 @@ impl NabEngine {
             instance: 0,
             broadcast: BroadcastKind::default(),
             net: None,
+            repair: true,
+            memo: None,
+            repair_stats: RepairStats::default(),
         })
+    }
+
+    /// Re-seats the engine on a new plan — a live deployment whose
+    /// network was re-provisioned mid-stream (link capacities changed,
+    /// OCS-style) — while carrying forward everything it learned:
+    /// dispute state, the instance counter (which seeds per-instance
+    /// coding schemes), and the replanning counters. The per-`G_k` memo
+    /// is dropped: it was derived against the old network. The node set
+    /// must be unchanged (capacity-only mutation), or carried dispute
+    /// state would reference nodes the new plan does not have.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NabError::PlanMismatch`] when `plan.f() != cfg.f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new plan's node count differs from the old one's.
+    pub fn migrate_to_plan(&mut self, plan: Arc<ExecutionPlan>) -> Result<(), NabError> {
+        if plan.f() != self.cfg.f {
+            return Err(NabError::PlanMismatch {
+                plan_f: plan.f(),
+                cfg_f: self.cfg.f,
+            });
+        }
+        assert_eq!(
+            plan.graph().node_count(),
+            self.plan.graph().node_count(),
+            "plan migration requires a capacity-only mutation"
+        );
+        self.plan = plan;
+        self.memo = None;
+        Ok(())
+    }
+
+    /// Enables or disables incremental plan repair (default: enabled).
+    ///
+    /// Disabled, every disputed instance re-derives γ_k, the arborescence
+    /// packing, and ρ_k from scratch with the reference packer — the
+    /// pre-repair behavior, kept as the benchmark baseline and the
+    /// differential-testing oracle. Outputs are bit-identical either way.
+    pub fn set_plan_repair(&mut self, on: bool) {
+        self.repair = on;
+        if !on {
+            self.memo = None;
+        }
+    }
+
+    /// Whether incremental plan repair is enabled.
+    pub fn plan_repair(&self) -> bool {
+        self.repair
+    }
+
+    /// Replanning counters accumulated by this engine.
+    pub fn repair_stats(&self) -> &RepairStats {
+        &self.repair_stats
     }
 
     /// Switches the engine to message-level execution: phase durations
@@ -398,18 +502,70 @@ impl NabEngine {
 
         let gamma;
         let trees_shrunk;
+        let trees_memo;
         let trees: &[Arborescence] = if undisputed {
             gamma = plan.gamma0();
             plan.trees0()
+        } else if self.repair {
+            // Incremental repair: re-derive (γ_k, trees) only when the
+            // dispute state changed since the last derivation, and use the
+            // witness-incremental packer when it did. Both are exact — the
+            // memoized artifacts equal a from-scratch naive recompute bit
+            // for bit — so this path differs from the fallback below only
+            // in wall time.
+            let hit = self.memo.as_ref().is_some_and(|m| {
+                m.pairs == self.disputes.pairs && m.removed == self.disputes.removed
+            });
+            if !hit {
+                let t0 = std::time::Instant::now();
+                let gamma_new = gamma_k(gk, SOURCE);
+                let trees_new = pack_arborescences(gk, SOURCE, gamma_new).ok_or_else(|| {
+                    NabError::ArborescencePacking {
+                        n: gk.active_count(),
+                        edges: gk.edge_count(),
+                        gamma: gamma_new,
+                    }
+                })?;
+                let ns = t0.elapsed().as_nanos() as u64;
+                let counted_repair = gamma_new == plan.gamma0();
+                if counted_repair {
+                    self.repair_stats.repairs += 1;
+                    trace::emit(EventKind::PlanRepair { ns });
+                } else {
+                    self.repair_stats.full_recomputes += 1;
+                    trace::emit(EventKind::PlanFullRecompute { ns });
+                }
+                self.repair_stats.repair_ns += ns;
+                self.memo = Some(GkMemo {
+                    pairs: self.disputes.pairs.clone(),
+                    removed: self.disputes.removed.clone(),
+                    gamma: gamma_new,
+                    trees: Arc::new(trees_new),
+                    rho: None,
+                    counted_repair,
+                });
+            }
+            let m = self.memo.as_ref().expect("memo was just ensured");
+            gamma = m.gamma;
+            trees_memo = Arc::clone(&m.trees);
+            &trees_memo
         } else {
+            // Full-recompute fallback (`plan_repair = false`): the
+            // pre-repair behavior — re-derive everything per instance with
+            // the reference packer.
+            let t0 = std::time::Instant::now();
             gamma = gamma_k(gk, SOURCE);
-            trees_shrunk = pack_arborescences(gk, SOURCE, gamma).ok_or_else(|| {
+            trees_shrunk = pack_arborescences_naive(gk, SOURCE, gamma).ok_or_else(|| {
                 NabError::ArborescencePacking {
                     n: gk.active_count(),
                     edges: gk.edge_count(),
                     gamma,
                 }
             })?;
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.repair_stats.full_recomputes += 1;
+            self.repair_stats.repair_ns += ns;
+            trace::emit(EventKind::PlanFullRecompute { ns });
             &trees_shrunk
         };
 
@@ -468,8 +624,33 @@ impl NabEngine {
         let t0 = std::time::Instant::now();
         let rho = if undisputed {
             plan.rho0()
+        } else if self.repair {
+            let rho0 = plan.rho0();
+            let m = self.memo.as_mut().expect("memo set while packing trees");
+            match m.rho {
+                Some(r) => r,
+                None => {
+                    let t0 = std::time::Instant::now();
+                    let r = rho_k(gk, self.cfg.f, &self.disputes.pairs)
+                        .ok_or(NabError::NoEqualityParameter)?;
+                    self.repair_stats.repair_ns += t0.elapsed().as_nanos() as u64;
+                    m.rho = Some(r);
+                    if m.counted_repair && r != rho0 {
+                        // The ρ bound moved after all: this derivation was
+                        // a full recompute, not a repair.
+                        m.counted_repair = false;
+                        self.repair_stats.repairs -= 1;
+                        self.repair_stats.full_recomputes += 1;
+                    }
+                    r
+                }
+            }
         } else {
-            rho_k(gk, self.cfg.f, &self.disputes.pairs).ok_or(NabError::NoEqualityParameter)?
+            let t0 = std::time::Instant::now();
+            let r =
+                rho_k(gk, self.cfg.f, &self.disputes.pairs).ok_or(NabError::NoEqualityParameter)?;
+            self.repair_stats.repair_ns += t0.elapsed().as_nanos() as u64;
+            r
         };
         let scheme = if undisputed {
             plan.instance_scheme(self.cfg.seed, self.instance as u64)
@@ -1118,6 +1299,42 @@ mod tests {
                 assert_eq!(*out, x);
             }
         }
+    }
+
+    #[test]
+    fn plan_repair_is_bit_identical_to_full_recompute() {
+        let x = input(12);
+        let faulty = BTreeSet::from([2]);
+        let mut fast = engine(12);
+        let mut slow = engine(12);
+        slow.set_plan_repair(false);
+        assert!(fast.plan_repair());
+        assert!(!slow.plan_repair());
+        // Raise a dispute, then keep running so later instances replan on
+        // the shrunken G_k.
+        for i in 0..2 {
+            let a = fast.run_instance(&x, &faulty, &mut LyingCorruptor).unwrap();
+            let b = slow.run_instance(&x, &faulty, &mut LyingCorruptor).unwrap();
+            assert_reports_match(&a, &b, &format!("lying instance {i}"));
+        }
+        for i in 0..3 {
+            let a = fast.run_instance(&x, &faulty, &mut HonestStrategy).unwrap();
+            let b = slow.run_instance(&x, &faulty, &mut HonestStrategy).unwrap();
+            assert_reports_match(&a, &b, &format!("quiet instance {i}"));
+        }
+        assert_eq!(fast.disputes().pairs, slow.disputes().pairs);
+        let fs = *fast.repair_stats();
+        let ss = *slow.repair_stats();
+        assert_eq!(ss.repairs, 0, "repair-off never counts repairs");
+        assert!(
+            ss.full_recomputes >= 4,
+            "repair-off replans every disputed instance: {ss:?}"
+        );
+        let fast_derivations = fs.repairs + fs.full_recomputes;
+        assert!(
+            (1..ss.full_recomputes).contains(&fast_derivations),
+            "memo must collapse stable dispute states: fast {fs:?} vs slow {ss:?}"
+        );
     }
 
     #[test]

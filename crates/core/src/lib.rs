@@ -54,6 +54,7 @@ pub mod dispute;
 pub mod engine;
 pub mod equality;
 pub mod netexec;
+pub mod persist;
 pub mod phase1;
 pub mod phase2;
 pub mod pipeline;

@@ -41,6 +41,9 @@ use crate::equality::CodingScheme;
 pub struct ExecutionPlan {
     g0: DiGraph,
     f: usize,
+    /// Labeled-graph digest of `g0`, fixed at build time so cache-hit
+    /// verification and disk addressing never re-hash the graph.
+    labeled: u64,
     gamma0: u64,
     rho0: u64,
     trees0: Vec<Arborescence>,
@@ -102,6 +105,7 @@ impl ExecutionPlan {
             }
         })?;
         Ok(ExecutionPlan {
+            labeled: canon::labeled_key(&g),
             g0: g,
             f,
             gamma0,
@@ -114,9 +118,51 @@ impl ExecutionPlan {
         })
     }
 
+    /// Reassembles a plan from verified persisted artifacts (γ₁, ρ₁, the
+    /// arborescence packing), rebuilding only the cheap lazy pieces — the
+    /// router's connectivity proof and the on-demand caches. The caller
+    /// (the persistence layer) is responsible for having verified the
+    /// artifacts; `wall_ns` records what the reassembly cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violated validation condition, exactly as
+    /// [`ExecutionPlan::build`] would for the same network.
+    pub(crate) fn from_parts(
+        g: DiGraph,
+        f: usize,
+        gamma0: u64,
+        rho0: u64,
+        trees0: Vec<Arborescence>,
+        wall_ns: u64,
+    ) -> Result<ExecutionPlan, NabError> {
+        let n = g.active_count();
+        if n < 3 * f + 1 {
+            return Err(NabError::TooManyFaults { n, f });
+        }
+        let router = PathRouter::build(&g, f).ok_or(NabError::InsufficientConnectivity)?;
+        Ok(ExecutionPlan {
+            labeled: canon::labeled_key(&g),
+            g0: g,
+            f,
+            gamma0,
+            rho0,
+            trees0,
+            spanning_trees0: OnceLock::new(),
+            router,
+            build_wall_ns: wall_ns,
+            bounds: RwLock::new(HashMap::new()),
+        })
+    }
+
     /// The planned network `G_1`.
     pub fn graph(&self) -> &DiGraph {
         &self.g0
+    }
+
+    /// The labeled digest of the planned network, fixed at build time.
+    pub fn labeled_digest(&self) -> u64 {
+        self.labeled
     }
 
     /// The fault bound the plan was built for.
@@ -163,6 +209,13 @@ impl ExecutionPlan {
     /// Wall-clock nanoseconds spent building this plan.
     pub fn build_wall_ns(&self) -> u64 {
         self.build_wall_ns
+    }
+
+    /// Overrides the recorded build wall time (used by the persistence
+    /// layer to report load-and-verify cost instead of the original
+    /// build's).
+    pub(crate) fn set_build_wall_ns(&mut self, ns: u64) {
+        self.build_wall_ns = ns;
     }
 
     /// The per-instance coding scheme on the undisputed graph: uniform
@@ -247,12 +300,18 @@ pub struct PlanFetch {
 /// Aggregate counters of a [`PlanCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PlanCacheStats {
-    /// Fetches served from the cache.
+    /// Fetches served from the cache (in-memory or disk tier).
     pub hits: u64,
     /// Fetches that had to build a plan.
     pub misses: u64,
     /// Total wall nanoseconds spent building plans.
     pub build_ns: u64,
+    /// Hits served by loading and verifying a persisted plan.
+    pub disk_hits: u64,
+    /// Freshly built plans persisted to the disk tier.
+    pub disk_stores: u64,
+    /// Persisted entries rejected by verification (corrupt or stale).
+    pub disk_rejects: u64,
 }
 
 /// A concurrent content-addressed store of [`ExecutionPlan`]s, sharded
@@ -265,9 +324,15 @@ pub struct PlanCacheStats {
 /// hit is always semantically identical to a rebuild.
 pub struct PlanCache {
     shards: Vec<RwLock<HashMap<PlanKey, Arc<ExecutionPlan>>>>,
+    /// Disk tier root: misses probe it before building, fresh builds are
+    /// persisted into it ([`crate::persist`]).
+    dir: Option<std::path::PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
     build_ns: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_stores: AtomicU64,
+    disk_rejects: AtomicU64,
 }
 
 impl Default for PlanCache {
@@ -277,21 +342,40 @@ impl Default for PlanCache {
 }
 
 impl PlanCache {
-    /// A cache with the default shard count.
+    /// A cache with the default shard count and no disk tier.
     pub fn new() -> Self {
         Self::with_shards(8)
     }
 
-    /// A cache with `shards` lock shards (at least 1).
+    /// A cache with `shards` lock shards (at least 1) and no disk tier.
     pub fn with_shards(shards: usize) -> Self {
         PlanCache {
             shards: (0..shards.max(1))
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
+            dir: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             build_ns: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_stores: AtomicU64::new(0),
+            disk_rejects: AtomicU64::new(0),
         }
+    }
+
+    /// A cache whose misses fall through to a persistent on-disk store in
+    /// `dir` before building: verified entries load warm, fresh builds
+    /// are written back (atomically), and corrupt or stale entries are
+    /// rejected with a warning and rebuilt.
+    pub fn with_dir(dir: impl Into<std::path::PathBuf>) -> Self {
+        let mut cache = Self::new();
+        cache.dir = Some(dir.into());
+        cache
+    }
+
+    /// The disk-tier root, if one was configured.
+    pub fn dir(&self) -> Option<&std::path::Path> {
+        self.dir.as_deref()
     }
 
     fn shard(&self, key: &PlanKey) -> &RwLock<HashMap<PlanKey, Arc<ExecutionPlan>>> {
@@ -312,7 +396,7 @@ impl PlanCache {
         let key = PlanKey::of(g, f);
         let shard = self.shard(&key);
         if let Some(plan) = shard.read().expect("plan shard poisoned").get(&key) {
-            if plan.graph() == g && plan.f() == f {
+            if Self::verify_hit(plan, &key, g, f) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 nab_obs::trace::emit(nab_obs::trace::EventKind::PlanCacheHit);
                 return Ok(PlanFetch {
@@ -326,7 +410,7 @@ impl PlanCache {
         // concurrent workers asking for the same network build it once.
         let mut shard = shard.write().expect("plan shard poisoned");
         if let Some(plan) = shard.get(&key) {
-            if plan.graph() == g && plan.f() == f {
+            if Self::verify_hit(plan, &key, g, f) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 nab_obs::trace::emit(nab_obs::trace::EventKind::PlanCacheHit);
                 return Ok(PlanFetch {
@@ -336,12 +420,49 @@ impl PlanCache {
                 });
             }
         }
+        // Disk tier: a verified persisted plan substitutes for the build.
+        if let Some(dir) = &self.dir {
+            match crate::persist::load_plan(dir, &key, g, f) {
+                crate::persist::LoadOutcome::Loaded(plan) => {
+                    let plan: Arc<ExecutionPlan> = Arc::from(plan);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    nab_obs::trace::emit(nab_obs::trace::EventKind::PlanDiskHit);
+                    shard.entry(key).or_insert_with(|| Arc::clone(&plan));
+                    return Ok(PlanFetch {
+                        plan,
+                        hit: true,
+                        build_ns: 0,
+                    });
+                }
+                crate::persist::LoadOutcome::Rejected(why) => {
+                    self.disk_rejects.fetch_add(1, Ordering::Relaxed);
+                    nab_obs::trace::emit(nab_obs::trace::EventKind::PlanDiskReject);
+                    eprintln!(
+                        "warning: rejected persisted plan {}: {why}; rebuilding",
+                        crate::persist::plan_path(dir, &key).display()
+                    );
+                }
+                crate::persist::LoadOutcome::Missing => {}
+            }
+        }
         nab_obs::trace::emit(nab_obs::trace::EventKind::PlanCacheMiss);
         let plan = Arc::new(ExecutionPlan::build(g.clone(), f)?);
         let build_ns = plan.build_wall_ns();
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.build_ns.fetch_add(build_ns, Ordering::Relaxed);
         nab_obs::trace::emit(nab_obs::trace::EventKind::PlanBuilt { build_ns });
+        if let Some(dir) = &self.dir {
+            match crate::persist::save_plan(dir, &key, &plan) {
+                Ok(()) => {
+                    self.disk_stores.fetch_add(1, Ordering::Relaxed);
+                    nab_obs::trace::emit(nab_obs::trace::EventKind::PlanDiskStore);
+                }
+                Err(e) => {
+                    eprintln!("warning: could not persist plan to {}: {e}", dir.display());
+                }
+            }
+        }
         // A digest collision (different graph already under this key)
         // keeps the incumbent and hands the caller a private plan.
         shard.entry(key).or_insert_with(|| Arc::clone(&plan));
@@ -350,6 +471,14 @@ impl PlanCache {
             hit: false,
             build_ns,
         })
+    }
+
+    /// Hit verification: the stored labeled digest (fixed at build time)
+    /// gates first — an O(1) compare that disposes of digest collisions
+    /// and stale entries — and only a digest match proceeds to the O(E)
+    /// structural equality check that makes collisions harmless.
+    fn verify_hit(plan: &ExecutionPlan, key: &PlanKey, g: &DiGraph, f: usize) -> bool {
+        plan.labeled_digest() == key.labeled && plan.f() == f && plan.graph() == g
     }
 
     /// Convenience wrapper around [`PlanCache::fetch`] discarding the
@@ -376,6 +505,9 @@ impl PlanCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             build_ns: self.build_ns.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_stores: self.disk_stores.load(Ordering::Relaxed),
+            disk_rejects: self.disk_rejects.load(Ordering::Relaxed),
         }
     }
 }
@@ -497,6 +629,28 @@ mod tests {
         assert!(cache.fetch(&g, 1).is_err());
         assert_eq!(cache.plan_count(), 0);
         assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn disk_tier_warms_fresh_caches() {
+        let dir = std::env::temp_dir().join(format!("nab-plan-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = gen::complete(5, 2);
+        let c1 = PlanCache::with_dir(&dir);
+        assert_eq!(c1.dir(), Some(dir.as_path()));
+        let a = c1.fetch(&g, 1).unwrap();
+        assert!(!a.hit);
+        assert_eq!(c1.stats().disk_stores, 1);
+        // A fresh cache (new process, conceptually) starts warm from disk.
+        let c2 = PlanCache::with_dir(&dir);
+        let b = c2.fetch(&g, 1).unwrap();
+        assert!(b.hit, "disk entry substitutes for the build");
+        let s = c2.stats();
+        assert_eq!((s.misses, s.disk_hits, s.disk_rejects), (0, 1, 0));
+        assert_eq!(b.plan.trees0(), a.plan.trees0());
+        assert_eq!(b.plan.gamma0(), a.plan.gamma0());
+        assert_eq!(b.plan.rho0(), a.plan.rho0());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -2,10 +2,14 @@
 //! algebra, dispute-control soundness, and bound consistency.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
+use nab::adversary::{FalseAlarm, HonestStrategy, LyingCorruptor, NabAdversary, TruthfulCorruptor};
 use nab::bounds::{self, pair};
 use nab::dispute::DisputeState;
+use nab::engine::{NabConfig, NabEngine};
 use nab::equality::{equality_check_flags, no_tamper, CodingScheme};
+use nab::plan::ExecutionPlan;
 use nab::value::Value;
 use nab_netgraph::gen;
 use proptest::prelude::*;
@@ -160,5 +164,110 @@ proptest! {
         let s2 = CodingScheme::random(&g, 2, seed);
         prop_assert_eq!(s1.encode(0, 1, &v), s2.encode(0, 1, &v));
         prop_assert_eq!(s1.encode(2, 1, &v), s2.encode(2, 1, &v));
+    }
+}
+
+/// One adversary strategy per schedule code; both engines in the
+/// differential get their own (identically built) instance.
+fn adversary(code: u8) -> Box<dyn NabAdversary> {
+    match code % 4 {
+        0 => Box::new(HonestStrategy),
+        1 => Box::new(TruthfulCorruptor),
+        2 => Box::new(LyingCorruptor),
+        _ => Box::new(FalseAlarm),
+    }
+}
+
+/// Runs one instance on both engines and checks the reports are
+/// bit-identical (wall-clock fields excepted — those measure the
+/// simulator, not the protocol).
+fn differential_step(
+    fast: &mut NabEngine,
+    slow: &mut NabEngine,
+    x: &Value,
+    faulty: &BTreeSet<usize>,
+    code: u8,
+) {
+    let mut adv_a = adversary(code);
+    let mut adv_b = adversary(code);
+    let ra = fast.run_instance(x, faulty, adv_a.as_mut());
+    let rb = slow.run_instance(x, faulty, adv_b.as_mut());
+    match (ra, rb) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.outputs, b.outputs);
+            assert_eq!(a.times, b.times);
+            assert_eq!(a.gamma_k, b.gamma_k);
+            assert_eq!(a.rho_k, b.rho_k);
+            assert_eq!(a.mismatch_detected, b.mismatch_detected);
+            assert_eq!(a.dispute_ran, b.dispute_ran);
+            assert_eq!(a.new_pairs, b.new_pairs);
+            assert_eq!(a.newly_removed, b.newly_removed);
+            assert_eq!(a.defaulted, b.defaulted);
+        }
+        (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+        (a, b) => panic!(
+            "engines diverged: repair-on err={:?} repair-off err={:?}",
+            a.err(),
+            b.err()
+        ),
+    }
+}
+
+proptest! {
+    // Each case runs up to a dozen full protocol instances; keep the
+    // case count low enough for CI while still sweeping graph shapes,
+    // adversary schedules, and mutation points.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Differential property behind `plan_repair`: with incremental
+    /// repair on vs. off, every instance report of a random adversarial
+    /// run is bit-identical — including dispute chains that end in a
+    /// forced full recompute (γ/ρ changed, or a mid-sequence capacity
+    /// mutation migrated the engines onto a fresh plan and invalidated
+    /// the memo).
+    #[test]
+    fn plan_repair_matches_full_recompute_on_random_sequences(
+        seed in any::<u64>(),
+        n in 5usize..8,
+        codes in proptest::collection::vec(0u8..4, 2..7),
+        // Values ≥ the schedule length mean "no mutation this case".
+        mutate_at in 0usize..9,
+    ) {
+        let mut grng = StdRng::seed_from_u64(seed);
+        // f = 1 needs connectivity ≥ 3; sparse k-connected graphs are the
+        // interesting case (disputes actually move γ_k and ρ_k around).
+        let g = gen::random_k_connected(n, 3, 3, 0.3, &mut grng);
+        let cfg = NabConfig { f: 1, symbols: 8, seed };
+        let Ok(mut fast) = NabEngine::new(g.clone(), cfg) else {
+            // The random network failed a feasibility condition (U_1 < 2);
+            // nothing to differentiate.
+            return Ok(());
+        };
+        let mut slow = fast.clone();
+        slow.set_plan_repair(false);
+        let faulty = BTreeSet::from([n - 1]);
+        let x = Value::random(8, &mut grng);
+        for (i, &code) in codes.iter().enumerate() {
+            if mutate_at == i {
+                // OCS-style capacity rewrite mid-sequence: halve every
+                // other link, rebuild the plan, migrate both engines onto
+                // it (disputes carry over; the repair memo is dropped, so
+                // the next disputed instance derives G_k from scratch).
+                let mut m = g.clone();
+                let ids: Vec<usize> = m.edges().map(|(id, _)| id).collect();
+                for &id in ids.iter().step_by(2) {
+                    let cap = m.edge(id).expect("edge ids are live").cap;
+                    m.set_edge_cap(id, (cap / 2).max(1));
+                }
+                let Ok(plan) = ExecutionPlan::build(m, 1) else { return Ok(()); };
+                let plan = Arc::new(plan);
+                fast.migrate_to_plan(Arc::clone(&plan)).expect("same f, same nodes");
+                slow.migrate_to_plan(plan).expect("same f, same nodes");
+            }
+            differential_step(&mut fast, &mut slow, &x, &faulty, code);
+        }
+        prop_assert_eq!(&fast.disputes().pairs, &slow.disputes().pairs);
+        prop_assert_eq!(&fast.disputes().removed, &slow.disputes().removed);
+        prop_assert_eq!(slow.repair_stats().repairs, 0, "repair-off never repairs");
     }
 }

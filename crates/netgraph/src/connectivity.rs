@@ -52,21 +52,94 @@ pub fn vertex_connectivity_pair(g: &DiGraph, s: NodeId, t: NodeId) -> u64 {
 /// The directed vertex connectivity of the graph: the minimum over all
 /// ordered pairs of active nodes of [`vertex_connectivity_pair`].
 ///
+/// Each pair's flow is capped at the best minimum seen so far — a pair can
+/// only matter if it pushes *less* than the current best, so later pairs
+/// cost `O(best · (V + E))` instead of a full max-flow. The returned value
+/// is exact.
+///
 /// Returns `None` with fewer than two active nodes.
 pub fn vertex_connectivity(g: &DiGraph) -> Option<u64> {
     let nodes: Vec<NodeId> = g.nodes().collect();
     if nodes.len() < 2 {
         return None;
     }
+    let n = g.node_count();
     let mut best = u64::MAX;
     for &s in &nodes {
         for &t in &nodes {
             if s != t {
-                best = best.min(vertex_connectivity_pair(g, s, t));
+                let (mut net, _) = split_network(g, s, t);
+                best = best.min(net.max_flow_limited(s + n, t, best));
+                if best == 0 {
+                    return Some(0);
+                }
             }
         }
     }
     Some(best)
+}
+
+/// Whether every active node can reach every other active node — directed
+/// vertex connectivity `≥ 1`, checked with two breadth-first sweeps
+/// (forward and reverse from one pivot) in `O(V + E)` instead of `n²`
+/// max-flows. Vacuously true with fewer than two active nodes.
+pub fn strongly_connected(g: &DiGraph) -> bool {
+    let Some(pivot) = g.nodes().next() else {
+        return true;
+    };
+    let n = g.node_count();
+    let mut fwd: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut rev: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for (_, e) in g.edges() {
+        fwd[e.src].push(e.dst);
+        rev[e.dst].push(e.src);
+    }
+    let reach = |adj: &[Vec<NodeId>]| {
+        let mut seen = vec![false; n];
+        seen[pivot] = true;
+        let mut stack = vec![pivot];
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    };
+    let down = reach(&fwd);
+    let up = reach(&rev);
+    g.nodes().all(|v| down[v] && up[v])
+}
+
+/// Whether the directed vertex connectivity is at least `k`: every ordered
+/// pair must carry `k` internally-disjoint paths, so each pair's flow is
+/// capped at `k` (`O(k · (V + E))` per pair) and the scan exits on the
+/// first pair that falls short.
+///
+/// Returns `false` with fewer than two active nodes (no pair exists), and
+/// trivially `true` for `k = 0`.
+pub fn vertex_connectivity_at_least(g: &DiGraph, k: u64) -> bool {
+    if k == 0 {
+        return true;
+    }
+    let nodes: Vec<NodeId> = g.nodes().collect();
+    if nodes.len() < 2 {
+        return false;
+    }
+    let n = g.node_count();
+    for &s in &nodes {
+        for &t in &nodes {
+            if s != t {
+                let (mut net, _) = split_network(g, s, t);
+                if net.max_flow_limited(s + n, t, k) < k {
+                    return false;
+                }
+            }
+        }
+    }
+    true
 }
 
 /// Extracts `k` internally-vertex-disjoint directed paths from `s` to `t`,
@@ -132,7 +205,12 @@ pub fn supports_byzantine_broadcast(g: &DiGraph, f: usize) -> bool {
     if n < 2 {
         return f == 0;
     }
-    vertex_connectivity(g).is_some_and(|k| k >= (2 * f + 1) as u64)
+    if f == 0 {
+        // κ ≥ 1 is exactly strong connectivity — linear-time check, which
+        // is what keeps 1000-node fault-free fabrics plannable.
+        return strongly_connected(g);
+    }
+    vertex_connectivity_at_least(g, (2 * f + 1) as u64)
 }
 
 #[cfg(test)]
@@ -198,6 +276,39 @@ mod tests {
         // K7 supports f=2 (n=7≥7, κ=6≥5).
         let g7 = gen::complete(7, 1);
         assert!(supports_byzantine_broadcast(&g7, 2));
+    }
+
+    #[test]
+    fn strong_connectivity_matches_kappa_at_least_one() {
+        let ring = gen::ring(6, 1);
+        assert!(strongly_connected(&ring));
+        let mut one_way = DiGraph::new(3);
+        one_way.add_edge(0, 1, 1);
+        one_way.add_edge(1, 2, 1);
+        assert!(!strongly_connected(&one_way));
+        // A single active node is vacuously strongly connected.
+        let mut lone = DiGraph::new(2);
+        lone.remove_node(1);
+        assert!(strongly_connected(&lone));
+    }
+
+    #[test]
+    fn threshold_check_agrees_with_exact_connectivity() {
+        for g in [
+            gen::complete(5, 1),
+            gen::circulant(7, 2, 1),
+            gen::ring(5, 2),
+            gen::figure_1a(),
+        ] {
+            let exact = vertex_connectivity(&g).unwrap();
+            for k in 0..=exact + 2 {
+                assert_eq!(
+                    vertex_connectivity_at_least(&g, k),
+                    k <= exact,
+                    "threshold {k} vs exact {exact}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -129,6 +129,35 @@ impl FlowNet {
         total
     }
 
+    /// Like [`FlowNet::max_flow`] but stops augmenting once `limit` units
+    /// have been pushed, returning `min(max_flow, limit)`.
+    ///
+    /// Threshold queries ("is the cut at least `k`?") and witness rebuilds
+    /// only need this much flow, and capping bounds the work at
+    /// `O(limit · (V + E))` instead of a full max-flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either is out of range.
+    pub fn max_flow_limited(&mut self, s: usize, t: usize, limit: u64) -> u64 {
+        assert!(s < self.n && t < self.n && s != t, "bad flow endpoints");
+        let mut total = 0u64;
+        while total < limit {
+            let Some(level) = self.bfs_levels(s, t) else {
+                break;
+            };
+            let mut it = vec![0usize; self.n];
+            while total < limit {
+                let pushed = self.dfs_push(s, t, limit - total, &level, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+        total
+    }
+
     /// After [`FlowNet::max_flow`], the set of nodes reachable from `s` in
     /// the residual graph — the source side of a minimum cut.
     pub fn source_side(&self, s: usize) -> BTreeSet<usize> {

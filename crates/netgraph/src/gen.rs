@@ -207,10 +207,153 @@ pub fn random_k_connected<R: Rng + ?Sized>(
     g
 }
 
+/// A `k`-ary fat-tree (Clos) switch fabric: `(k/2)²` core switches plus
+/// `k` pods of `k/2` aggregation and `k/2` edge switches, all links
+/// bidirectional with capacity `cap`.
+///
+/// Hosts are omitted — every node is a switch, so the graph stays
+/// `k/2`-vertex-connected (an edge switch's only neighbours are its pod's
+/// aggregation layer). Node ids: cores first (`0..(k/2)²`, so the broadcast
+/// SOURCE is a core switch), then per pod the aggregation switches followed
+/// by the edge switches. Total nodes: `(k/2)² + k²`; `k = 32` gives the
+/// 1280-node datacenter fabric used by `dc-grid`.
+///
+/// # Panics
+///
+/// Panics unless `k` is even and `k ≥ 2`.
+pub fn fat_tree(k: usize, cap: u64) -> DiGraph {
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree needs even k ≥ 2");
+    let half = k / 2;
+    let cores = half * half;
+    let n = cores + k * k;
+    let mut g = DiGraph::new(n);
+    let agg = |pod: usize, i: usize| cores + pod * k + i;
+    let edge = |pod: usize, j: usize| cores + pod * k + half + j;
+    for pod in 0..k {
+        // Every edge switch uplinks to every aggregation switch in its pod.
+        for j in 0..half {
+            for i in 0..half {
+                g.add_edge(edge(pod, j), agg(pod, i), cap);
+                g.add_edge(agg(pod, i), edge(pod, j), cap);
+            }
+        }
+        // Aggregation switch `i` uplinks to core stripe `i`.
+        for i in 0..half {
+            for c in 0..half {
+                let core = i * half + c;
+                g.add_edge(agg(pod, i), core, cap);
+                g.add_edge(core, agg(pod, i), cap);
+            }
+        }
+    }
+    g
+}
+
+/// A 2-D torus: node `(r, c)` is `r·cols + c` and links bidirectionally to
+/// its four wraparound grid neighbours with capacity `cap` — the sparse
+/// constant-degree fabric (vertex connectivity 4) whose planning cost is
+/// dominated by diameter, not degree.
+///
+/// # Panics
+///
+/// Panics unless `rows ≥ 3` and `cols ≥ 3` (smaller wraps collapse into
+/// duplicate links).
+pub fn torus(rows: usize, cols: usize, cap: u64) -> DiGraph {
+    assert!(rows >= 3 && cols >= 3, "torus needs rows ≥ 3 and cols ≥ 3");
+    let mut g = DiGraph::new(rows * cols);
+    let id = |r: usize, c: usize| r * cols + c;
+    for r in 0..rows {
+        for c in 0..cols {
+            let right = id(r, (c + 1) % cols);
+            let down = id((r + 1) % rows, c);
+            g.add_edge(id(r, c), right, cap);
+            g.add_edge(right, id(r, c), cap);
+            g.add_edge(id(r, c), down, cap);
+            g.add_edge(down, id(r, c), cap);
+        }
+    }
+    g
+}
+
+/// A dragonfly: `groups` groups of `routers` routers, complete inside each
+/// group, one bidirectional global link per group pair. The router carrying
+/// the global link for the pair `(i, j)` is chosen by the pair's distance
+/// `d = j − i`, spreading global links round-robin over a group's routers.
+/// All links have capacity `cap`.
+///
+/// # Panics
+///
+/// Panics unless `groups ≥ 2` and `routers ≥ 2`.
+pub fn dragonfly(groups: usize, routers: usize, cap: u64) -> DiGraph {
+    assert!(
+        groups >= 2 && routers >= 2,
+        "dragonfly needs groups ≥ 2 and routers ≥ 2"
+    );
+    let mut g = DiGraph::new(groups * routers);
+    let id = |grp: usize, r: usize| grp * routers + r;
+    for grp in 0..groups {
+        for a in 0..routers {
+            for b in 0..routers {
+                if a != b {
+                    g.add_edge(id(grp, a), id(grp, b), cap);
+                }
+            }
+        }
+    }
+    for i in 0..groups {
+        for j in (i + 1)..groups {
+            let d = j - i;
+            let u = id(i, (d - 1) % routers);
+            let v = id(j, (d - 1) % routers);
+            g.add_edge(u, v, cap);
+            g.add_edge(v, u, cap);
+        }
+    }
+    g
+}
+
+/// A random expander: a bidirectional ring backbone (so the graph is always
+/// strongly connected) plus `⌈(degree − 2) / 2⌉` rounds of random
+/// bidirectional chords, one attempted per node per round, with capacities
+/// uniform in `1..=max_cap`. Random constant-degree graphs of this shape are
+/// expanders with high probability — the sparse reconfigurable-fabric model
+/// of the OCS literature.
+///
+/// # Panics
+///
+/// Panics unless `n ≥ 3`, `degree ≥ 2`, and `max_cap ≥ 1`.
+pub fn random_expander<R: Rng + ?Sized>(
+    n: usize,
+    degree: usize,
+    max_cap: u64,
+    rng: &mut R,
+) -> DiGraph {
+    assert!(n >= 3, "random_expander needs n ≥ 3");
+    assert!(degree >= 2, "random_expander needs degree ≥ 2");
+    assert!(max_cap >= 1, "capacities must be positive");
+    let mut g = DiGraph::new(n);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        g.add_edge(i, j, rng.gen_range(1..=max_cap));
+        g.add_edge(j, i, rng.gen_range(1..=max_cap));
+    }
+    let rounds = (degree - 2).div_ceil(2);
+    for _ in 0..rounds {
+        for i in 0..n {
+            let j = rng.gen_range(0..n);
+            if i != j && g.find_edge(i, j).is_none() && g.find_edge(j, i).is_none() {
+                g.add_edge(i, j, rng.gen_range(1..=max_cap));
+                g.add_edge(j, i, rng.gen_range(1..=max_cap));
+            }
+        }
+    }
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::connectivity::vertex_connectivity;
+    use crate::connectivity::{strongly_connected, vertex_connectivity};
     use crate::flow::{broadcast_rate, min_cut};
 
     #[test]
@@ -311,6 +454,60 @@ mod tests {
     #[should_panic(expected = "2m < n")]
     fn circulant_rejects_overlapping_chords() {
         let _ = circulant(4, 2, 1);
+    }
+
+    #[test]
+    fn fat_tree_structure_and_connectivity() {
+        let g = fat_tree(4, 2);
+        // (k/2)² cores + k pods × k switches.
+        assert_eq!(g.node_count(), 4 + 16);
+        // Per pod: (k/2)² edge-agg pairs + (k/2)² agg-core pairs, ×2 dirs.
+        assert_eq!(g.edge_count(), 4 * (4 + 4) * 2);
+        assert!(strongly_connected(&g));
+        // Edge switches bottleneck the fabric at k/2 neighbours.
+        assert_eq!(vertex_connectivity(&g), Some(2));
+        assert_eq!(broadcast_rate(&g, 0), 2 * 2); // core has k/2 links of cap 2
+    }
+
+    #[test]
+    fn torus_is_four_connected() {
+        let g = torus(4, 5, 3);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 20 * 4); // degree 4, each dir counted once
+        assert_eq!(vertex_connectivity(&g), Some(4));
+        assert_eq!(broadcast_rate(&g, 0), 4 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows ≥ 3")]
+    fn torus_rejects_degenerate_wrap() {
+        let _ = torus(2, 5, 1);
+    }
+
+    #[test]
+    fn dragonfly_structure() {
+        let g = dragonfly(4, 3, 2);
+        assert_eq!(g.node_count(), 12);
+        // 4 groups × 3·2 intra edges + 6 group pairs × 2 dirs.
+        assert_eq!(g.edge_count(), 4 * 6 + 6 * 2);
+        assert!(strongly_connected(&g));
+        assert!(vertex_connectivity(&g).unwrap() >= 1);
+        assert!(broadcast_rate(&g, 0) >= 2);
+    }
+
+    #[test]
+    fn random_expander_is_strongly_connected_with_bounded_caps() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..3 {
+            let g = random_expander(16, 4, 5, &mut rng);
+            assert!(strongly_connected(&g));
+            assert!(vertex_connectivity(&g).unwrap() >= 2);
+            for (_, e) in g.edges() {
+                assert!((1..=5).contains(&e.cap));
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! "node `i`" afterwards. A [`DiGraph`] therefore keeps a fixed universe of
 //! `node_count` ids plus an `active` mask, rather than renumbering.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// Index of a node. The paper numbers nodes `1..n` with node 1 the source;
@@ -39,12 +39,30 @@ pub struct Edge {
 /// assert_eq!(g.out_edges(0).count(), 1);
 /// assert_eq!(g.total_capacity(), 3);
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct DiGraph {
     node_count: usize,
     active: Vec<bool>,
     edges: Vec<Edge>,
+    /// Derived adjacency index `(src, dst) → EdgeId`, kept in sync with
+    /// `edges` so membership tests are O(1) instead of an O(E) scan —
+    /// generators and packers probe candidate edges millions of times on
+    /// datacenter-scale graphs. Never consulted for iteration, so it
+    /// cannot perturb any deterministic edge order.
+    index: HashMap<(NodeId, NodeId), EdgeId>,
 }
+
+/// Graph identity is the node universe, the active mask, and the edge
+/// list (in insertion order); the adjacency index is derived state.
+impl PartialEq for DiGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.node_count == other.node_count
+            && self.active == other.active
+            && self.edges == other.edges
+    }
+}
+
+impl Eq for DiGraph {}
 
 impl DiGraph {
     /// Creates a graph with nodes `0..node_count` (all active) and no edges.
@@ -53,6 +71,7 @@ impl DiGraph {
             node_count,
             active: vec![true; node_count],
             edges: Vec::new(),
+            index: HashMap::new(),
         }
     }
 
@@ -102,11 +121,26 @@ impl DiGraph {
         assert_ne!(src, dst, "self-loops are not allowed");
         assert!(cap > 0, "link capacities are positive integers");
         assert!(
-            self.find_edge(src, dst).is_none(),
+            !self.index.contains_key(&(src, dst)),
             "duplicate edge ({src}, {dst}); the network is a simple graph"
         );
         self.edges.push(Edge { src, dst, cap });
-        self.edges.len() - 1
+        let id = self.edges.len() - 1;
+        self.index.insert((src, dst), id);
+        id
+    }
+
+    /// Re-provisions the capacity of edge `id` in place (an OCS-style
+    /// link degrade/boost: the edge set is untouched, only the rate
+    /// changes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown edge id or zero capacity.
+    pub fn set_edge_cap(&mut self, id: EdgeId, cap: u64) {
+        assert!(id < self.edges.len(), "unknown edge id {id}");
+        assert!(cap > 0, "link capacities are positive integers");
+        self.edges[id].cap = cap;
     }
 
     /// All edges (between active nodes), with their ids.
@@ -123,8 +157,11 @@ impl DiGraph {
     }
 
     /// Looks up the edge `(src, dst)` if it exists between active nodes.
+    /// O(1) via the adjacency index.
     pub fn find_edge(&self, src: NodeId, dst: NodeId) -> Option<(EdgeId, &Edge)> {
-        self.edges().find(|(_, e)| e.src == src && e.dst == dst)
+        let &id = self.index.get(&(src, dst))?;
+        let e = &self.edges[id];
+        (self.active[e.src] && self.active[e.dst]).then_some((id, e))
     }
 
     /// The edge with the given id, if live.
@@ -184,6 +221,13 @@ impl DiGraph {
     pub fn remove_edges_between(&mut self, a: NodeId, b: NodeId) {
         self.edges
             .retain(|e| !((e.src == a && e.dst == b) || (e.src == b && e.dst == a)));
+        // Compaction renumbers edge ids; rebuild the derived index.
+        self.index = self
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(id, e)| ((e.src, e.dst), id))
+            .collect();
     }
 
     /// The subgraph induced by `keep` (deactivates all other nodes).

@@ -98,6 +98,25 @@ pub enum EventKind {
         /// Wall-clock nanoseconds spent building the plan.
         build_ns: u64,
     },
+    /// Per-`G_k` replanning patched the packing incrementally (γ/ρ bounds
+    /// unchanged) in `ns` nanoseconds.
+    PlanRepair {
+        /// Wall-clock nanoseconds spent on the incremental repair.
+        ns: u64,
+    },
+    /// Per-`G_k` replanning fell back to a full recompute (γ/ρ bounds
+    /// changed) in `ns` nanoseconds.
+    PlanFullRecompute {
+        /// Wall-clock nanoseconds spent on the full recompute.
+        ns: u64,
+    },
+    /// The plan cache loaded a persisted plan from its on-disk store.
+    PlanDiskHit,
+    /// The plan cache persisted a freshly built plan to its on-disk store.
+    PlanDiskStore,
+    /// A persisted plan failed verification (corrupt or stale) and was
+    /// rejected; a rebuild follows.
+    PlanDiskReject,
     /// Dispute control ran and produced `new_pairs` new dispute pairs.
     DisputeRaised {
         /// Number of dispute pairs added to the accusation graph.
@@ -127,6 +146,11 @@ impl EventKind {
             EventKind::PlanCacheHit => "plan_cache_hit",
             EventKind::PlanCacheMiss => "plan_cache_miss",
             EventKind::PlanBuilt { .. } => "plan_built",
+            EventKind::PlanRepair { .. } => "plan_repair",
+            EventKind::PlanFullRecompute { .. } => "plan_full_recompute",
+            EventKind::PlanDiskHit => "plan_disk_hit",
+            EventKind::PlanDiskStore => "plan_disk_store",
+            EventKind::PlanDiskReject => "plan_disk_reject",
             EventKind::DisputeRaised { .. } => "dispute_raised",
             EventKind::NodeExposed { .. } => "node_exposed",
         }

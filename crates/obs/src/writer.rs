@@ -63,6 +63,9 @@ fn write_jsonl_event(out: &mut String, ev: &Event) {
         EventKind::PlanBuilt { build_ns } => {
             let _ = write!(out, ",\"build_ns\":{build_ns}");
         }
+        EventKind::PlanRepair { ns } | EventKind::PlanFullRecompute { ns } => {
+            let _ = write!(out, ",\"ns\":{ns}");
+        }
         EventKind::DisputeRaised { new_pairs } => {
             let _ = write!(out, ",\"new_pairs\":{new_pairs}");
         }
@@ -140,6 +143,9 @@ fn write_chrome_event(out: &mut String, ev: &Event) {
             match ev.kind {
                 EventKind::PlanBuilt { build_ns } => {
                     let _ = write!(out, ",\"args\":{{\"build_ns\":{build_ns}}}");
+                }
+                EventKind::PlanRepair { ns } | EventKind::PlanFullRecompute { ns } => {
+                    let _ = write!(out, ",\"args\":{{\"ns\":{ns}}}");
                 }
                 EventKind::DisputeRaised { new_pairs } => {
                     let _ = write!(out, ",\"args\":{{\"new_pairs\":{new_pairs}}}");

@@ -47,6 +47,7 @@
 pub mod adversary;
 pub mod faults;
 pub mod json;
+pub mod mutations;
 pub mod parse;
 pub mod report;
 pub mod spec;
@@ -55,6 +56,7 @@ pub mod topology;
 
 pub use adversary::AdversarySpec;
 pub use faults::FaultSchedule;
+pub use mutations::MutationSchedule;
 pub use parse::{load, parse_str, ParseError};
 pub use report::{Aggregate, JobMetrics, JobOutcome, PhaseLatency, SweepReport};
 pub use spec::ScenarioSpec;

@@ -27,6 +27,7 @@ use nab::BroadcastKind;
 
 use crate::adversary::AdversarySpec;
 use crate::faults::FaultSchedule;
+use crate::mutations::MutationSchedule;
 use crate::spec::ScenarioSpec;
 use crate::topology::TopologyTemplate;
 
@@ -110,6 +111,9 @@ pub fn parse_str(text: &str) -> Result<ScenarioSpec, ParseError> {
                 spec.adversary = AdversarySpec::parse(value).map_err(|e| err(lineno, e))?
             }
             "faults" => spec.faults = FaultSchedule::parse(value).map_err(|e| err(lineno, e))?,
+            "mutations" => {
+                spec.mutations = MutationSchedule::parse(value).map_err(|e| err(lineno, e))?
+            }
             "q" => spec.q = parse_num(lineno, key, value)?,
             "streams" => spec.streams = parse_num(lineno, key, value)?,
             "n" => spec.n = parse_list(lineno, key, value)?,
@@ -122,6 +126,7 @@ pub fn parse_str(text: &str) -> Result<ScenarioSpec, ParseError> {
             "bounds_budget" => spec.bounds_budget = parse_num(lineno, key, value)?,
             "threads" => spec.threads = parse_num(lineno, key, value)?,
             "plan_cache" => spec.plan_cache = parse_bool(lineno, key, value)?,
+            "plan_repair" => spec.plan_repair = parse_bool(lineno, key, value)?,
             "link_model" => {
                 spec.link_model = nab_net::NetSpec::parse(value).map_err(|e| err(lineno, e))?
             }
@@ -132,8 +137,9 @@ pub fn parse_str(text: &str) -> Result<ScenarioSpec, ParseError> {
                     lineno,
                     format!(
                         "unknown key {other:?} (known: name, topology, broadcast, adversary, \
-                         faults, q, streams, n, cap, f, symbols, seeds, seed0, bounds, \
-                         bounds_budget, threads, plan_cache, link_model, net, batch)"
+                         faults, mutations, q, streams, n, cap, f, symbols, seeds, seed0, \
+                         bounds, bounds_budget, threads, plan_cache, plan_repair, link_model, \
+                         net, batch)"
                     ),
                 ))
             }
@@ -199,14 +205,15 @@ pub fn to_scenario_string(spec: &ScenarioSpec) -> String {
     };
     format!(
         "name = {}\ntopology = {}\nbroadcast = {}\nadversary = {}\nfaults = {}\n\
-         q = {}\nstreams = {}\nn = {}\ncap = {}\nf = {}\nsymbols = {}\n\
+         mutations = {}\nq = {}\nstreams = {}\nn = {}\ncap = {}\nf = {}\nsymbols = {}\n\
          seeds = {}\nseed0 = {}\nbounds = {}\nbounds_budget = {}\nthreads = {}\n\
-         plan_cache = {}\nlink_model = {}\nnet = {}\nbatch = {}\n",
+         plan_cache = {}\nplan_repair = {}\nlink_model = {}\nnet = {}\nbatch = {}\n",
         spec.name,
         spec.topology.spec_string(),
         broadcast,
         spec.adversary.spec_string(),
         spec.faults.spec_string(),
+        spec.mutations.spec_string(),
         spec.q,
         spec.streams,
         list(&spec.n),
@@ -219,6 +226,7 @@ pub fn to_scenario_string(spec: &ScenarioSpec) -> String {
         spec.bounds_budget,
         spec.threads,
         spec.plan_cache,
+        spec.plan_repair,
         spec.link_model.spec_string(),
         spec.net,
         spec.batch,
@@ -314,6 +322,34 @@ threads = 2
         assert!(!s.plan_cache);
         let e = parse_str("name = x\nplan_cache = maybe\n").unwrap_err();
         assert!(e.message.contains("bad boolean"), "{e}");
+    }
+
+    #[test]
+    fn plan_repair_key_parses_and_defaults_on() {
+        let s = parse_str("name = x\n").unwrap();
+        assert!(s.plan_repair, "plan repair is on by default");
+        let s = parse_str("name = x\nplan_repair = off\n").unwrap();
+        assert!(!s.plan_repair);
+        let e = parse_str("name = x\nplan_repair = 7\n").unwrap_err();
+        assert!(e.message.contains("bad boolean"), "{e}");
+    }
+
+    #[test]
+    fn mutations_key_parses_and_defaults_none() {
+        let s = parse_str("name = x\n").unwrap();
+        assert_eq!(s.mutations, MutationSchedule::None);
+        let s = parse_str("name = x\nmutations = flap:4:2:50\n").unwrap();
+        assert_eq!(
+            s.mutations,
+            MutationSchedule::Flap {
+                every: 4,
+                links: 2,
+                pct: 50
+            }
+        );
+        let e = parse_str("name = x\nmutations = degrade:4:2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("3 parameters"), "{e}");
     }
 
     #[test]

@@ -175,6 +175,14 @@ pub struct JobMetrics {
     pub plan_misses: u64,
     /// Wall nanoseconds this job spent building network plans.
     pub plan_build_ns: u64,
+    /// Disputed-`G_k` replans resolved by incremental repair (γ/ρ bounds
+    /// unchanged) across the job's engines (timed JSON only).
+    pub plan_repairs: u64,
+    /// Disputed-`G_k` replans that fell back to a full recompute (a γ or
+    /// ρ bound changed, or repair was disabled).
+    pub plan_full_recomputes: u64,
+    /// Wall nanoseconds spent replanning disputed `G_k`s.
+    pub plan_repair_ns: u64,
 }
 
 /// One job's parameters and outcome.
@@ -249,6 +257,14 @@ pub struct Aggregate {
     /// Plan-build wall nanoseconds summed over measured jobs (timed JSON
     /// only).
     pub plan_build_ns: u64,
+    /// Incremental plan repairs summed over measured jobs (timed JSON
+    /// only).
+    pub plan_repairs: u64,
+    /// Full `G_k` recomputes summed over measured jobs (timed JSON only).
+    pub plan_full_recomputes: u64,
+    /// Replanning wall nanoseconds summed over measured jobs (timed JSON
+    /// only).
+    pub plan_repair_ns: u64,
     /// Per-phase latency distributions merged over all measured jobs
     /// (timed JSON only; the merge is partition-invariant, so this is
     /// identical for any worker-thread count).
@@ -281,6 +297,9 @@ impl Aggregate {
             plan_hits: 0,
             plan_misses: 0,
             plan_build_ns: 0,
+            plan_repairs: 0,
+            plan_full_recomputes: 0,
+            plan_repair_ns: 0,
             latency: PhaseLatency::default(),
             delivered: None,
         };
@@ -308,6 +327,9 @@ impl Aggregate {
                     agg.plan_hits += m.plan_hits;
                     agg.plan_misses += m.plan_misses;
                     agg.plan_build_ns += m.plan_build_ns;
+                    agg.plan_repairs += m.plan_repairs;
+                    agg.plan_full_recomputes += m.plan_full_recomputes;
+                    agg.plan_repair_ns += m.plan_repair_ns;
                     agg.latency.merge(&m.latency);
                     if let Some(d) = &m.delivered {
                         agg.delivered
@@ -411,6 +433,8 @@ impl SweepReport {
         reg.counter_add("nodes_exposed", a.exposed_nodes as u64);
         reg.counter_add("plan_cache_hits", a.plan_hits);
         reg.counter_add("plan_cache_misses", a.plan_misses);
+        reg.counter_add("plan_repairs", a.plan_repairs);
+        reg.counter_add("plan_full_recomputes", a.plan_full_recomputes);
         let (mut mismatch, mut defaulted) = (0u64, 0u64);
         for job in &self.jobs {
             if let Ok(m) = &job.result {
@@ -561,6 +585,9 @@ fn metrics_json(m: &JobMetrics, with_timings: bool) -> Json {
         pairs.push(("plan_cache_hits", Json::U64(m.plan_hits)));
         pairs.push(("plan_cache_misses", Json::U64(m.plan_misses)));
         pairs.push(("plan_build_ns", Json::U64(m.plan_build_ns)));
+        pairs.push(("plan_repairs", Json::U64(m.plan_repairs)));
+        pairs.push(("plan_full_recomputes", Json::U64(m.plan_full_recomputes)));
+        pairs.push(("plan_repair_ns", Json::U64(m.plan_repair_ns)));
         pairs.push(("latency", latency_json(&m.latency)));
         if let Some(d) = &m.delivered {
             pairs.push(("delivered", delivered_json(d)));
@@ -658,6 +685,9 @@ fn aggregate_json(a: &Aggregate, with_timings: bool) -> Json {
         pairs.push(("plan_cache_hits", Json::U64(a.plan_hits)));
         pairs.push(("plan_cache_misses", Json::U64(a.plan_misses)));
         pairs.push(("plan_build_ns", Json::U64(a.plan_build_ns)));
+        pairs.push(("plan_repairs", Json::U64(a.plan_repairs)));
+        pairs.push(("plan_full_recomputes", Json::U64(a.plan_full_recomputes)));
+        pairs.push(("plan_repair_ns", Json::U64(a.plan_repair_ns)));
         pairs.push(("latency", latency_json(&a.latency)));
         if let Some(d) = &a.delivered {
             pairs.push(("delivered", delivered_json(d)));
@@ -711,6 +741,9 @@ mod tests {
             plan_hits: 1,
             plan_misses: 1,
             plan_build_ns: 40,
+            plan_repairs: 3,
+            plan_full_recomputes: 1,
+            plan_repair_ns: 60,
         }
     }
 
@@ -834,6 +867,9 @@ mod tests {
             "\"plan_cache_hits\":1",
             "\"plan_cache_misses\":1",
             "\"plan_build_ns\":40",
+            "\"plan_repairs\":3",
+            "\"plan_full_recomputes\":1",
+            "\"plan_repair_ns\":60",
         ] {
             assert!(timed.contains(key), "missing {key} in {timed}");
         }

@@ -12,6 +12,7 @@ use nab::BroadcastKind;
 
 use crate::adversary::AdversarySpec;
 use crate::faults::FaultSchedule;
+use crate::mutations::MutationSchedule;
 use crate::topology::TopologyTemplate;
 
 /// A declarative fault/workload scenario (see module docs).
@@ -27,6 +28,11 @@ pub struct ScenarioSpec {
     pub adversary: AdversarySpec,
     /// Fault placement schedule.
     pub faults: FaultSchedule,
+    /// Mid-job topology mutation schedule: every `every` instances the
+    /// network's link capacities are rewritten (OCS-style degrade /
+    /// re-provision) and engines migrate to the new network's plan,
+    /// carrying their dispute state. `none` by default.
+    pub mutations: MutationSchedule,
     /// Broadcast instances per job (the paper's `Q`).
     pub q: usize,
     /// Interleaved independent broadcast streams per job (each stream is
@@ -58,6 +64,11 @@ pub struct ScenarioSpec {
     /// benchmarking and for the determinism tests that pin the
     /// equivalence).
     pub plan_cache: bool,
+    /// Whether engines use incremental plan repair for disputed `G_k`
+    /// derivations (on by default; results are bit-identical either way
+    /// — the toggle, CLI `--no-repair`, exists for A/B benchmarking and
+    /// the differential tests that pin the equivalence).
+    pub plan_repair: bool,
     /// Per-link latency/jitter/loss models used when message-level
     /// execution is on (see [`ScenarioSpec::net`]). The default is the
     /// zero model (zero latency, lossless), under which message-level
@@ -87,6 +98,7 @@ impl Default for ScenarioSpec {
             broadcast: BroadcastKind::default(),
             adversary: AdversarySpec::Honest,
             faults: FaultSchedule::None,
+            mutations: MutationSchedule::None,
             q: 8,
             streams: 1,
             n: vec![4],
@@ -99,6 +111,7 @@ impl Default for ScenarioSpec {
             bounds_budget: 1 << 14,
             threads: 0,
             plan_cache: true,
+            plan_repair: true,
             link_model: nab_net::NetSpec::default(),
             net: false,
             batch: true,
@@ -136,6 +149,12 @@ impl ScenarioSpec {
     /// Sets the fault schedule.
     pub fn with_faults(mut self, f: FaultSchedule) -> Self {
         self.faults = f;
+        self
+    }
+
+    /// Sets the topology mutation schedule.
+    pub fn with_mutations(mut self, m: MutationSchedule) -> Self {
+        self.mutations = m;
         self
     }
 
@@ -196,6 +215,12 @@ impl ScenarioSpec {
     /// Enables or disables plan sharing through the `PlanCache`.
     pub fn with_plan_cache(mut self, on: bool) -> Self {
         self.plan_cache = on;
+        self
+    }
+
+    /// Enables or disables incremental plan repair in the engines.
+    pub fn with_plan_repair(mut self, on: bool) -> Self {
+        self.plan_repair = on;
         self
     }
 

@@ -515,6 +515,7 @@ fn measure(
         let mut engine =
             NabEngine::from_plan(plan, cfg).map_err(|e| format!("network rejected: {e}"))?;
         engine.set_broadcast_kind(spec.broadcast);
+        engine.set_plan_repair(spec.plan_repair);
         if spec.net {
             // Each stream samples its own jitter/loss stream, derived
             // from the job seed exactly like its adversary and input
@@ -562,6 +563,9 @@ fn measure(
         plan_hits,
         plan_misses,
         plan_build_ns,
+        plan_repairs: 0,
+        plan_full_recomputes: 0,
+        plan_repair_ns: 0,
     };
     // Per-stream instance trace for the steady-state tail:
     // (time, useful bits, disputed). A defaulted instance (source already
@@ -571,7 +575,50 @@ fn measure(
     // search would never select them.
     let mut traces: Vec<Vec<(f64, u64, bool)>> = vec![Vec::new(); spec.streams];
 
+    let mut cur_epoch = 0usize;
     for inst in 0..spec.q {
+        // Epoch boundary: the mutation schedule re-provisions link
+        // capacities (node/edge sets unchanged) and every stream's engine
+        // migrates to the new network's plan, carrying its dispute state
+        // — a live deployment following an OCS reconfiguration. Mutated
+        // graphs are content-addressed like any other, so a schedule that
+        // revisits a profile (flap) hits the plan cache.
+        let epoch = spec.mutations.epoch(inst);
+        if epoch != cur_epoch {
+            cur_epoch = epoch;
+            let mutated = spec.mutations.graph_for_epoch(graph, epoch, job.seed);
+            match cache {
+                Some(c) => {
+                    let fetch = c
+                        .fetch(&mutated, job.f)
+                        .map_err(|e| format!("mutated network rejected: {e}"))?;
+                    if fetch.hit {
+                        metrics.plan_hits += 1;
+                    } else {
+                        metrics.plan_misses += 1;
+                        metrics.plan_build_ns += fetch.build_ns;
+                    }
+                    for engine in &mut engines {
+                        engine
+                            .migrate_to_plan(Arc::clone(&fetch.plan))
+                            .map_err(|e| format!("mutated network rejected: {e}"))?;
+                    }
+                }
+                None => {
+                    // Cold path: every stream replans privately, matching
+                    // the cache-off accounting at job start.
+                    for engine in &mut engines {
+                        let plan = ExecutionPlan::build(mutated.clone(), job.f)
+                            .map_err(|e| format!("mutated network rejected: {e}"))?;
+                        metrics.plan_misses += 1;
+                        metrics.plan_build_ns += plan.build_wall_ns();
+                        engine
+                            .migrate_to_plan(Arc::new(plan))
+                            .map_err(|e| format!("mutated network rejected: {e}"))?;
+                    }
+                }
+            }
+        }
         // One round-robin step: every stream runs instance `inst`. The
         // batched entry point packs all undisputed streams' equality
         // columns into one slab multiply per edge (falling back to the
@@ -636,12 +683,16 @@ fn measure(
         }
     }
 
-    // Accumulated dispute state across streams.
+    // Accumulated dispute state and replanning counters across streams.
     let mut pairs = BTreeSet::new();
     let mut removed = BTreeSet::new();
     for engine in &engines {
         pairs.extend(engine.disputes().pairs.iter().copied());
         removed.extend(engine.disputes().removed.iter().copied());
+        let rs = engine.repair_stats();
+        metrics.plan_repairs += rs.repairs;
+        metrics.plan_full_recomputes += rs.full_recomputes;
+        metrics.plan_repair_ns += rs.repair_ns;
     }
     metrics.pairs = pairs.into_iter().collect();
     metrics.removed = removed.into_iter().collect();
@@ -1102,6 +1153,116 @@ mod tests {
         // despite the differing counters.
         assert_eq!(report.to_json(), cold.to_json());
         assert!(report.to_json_timed().contains("\"plan_cache_hits\":8"));
+    }
+
+    #[test]
+    fn plan_repair_toggle_never_changes_canonical_results() {
+        // Dispute-heavy: a corruptor forces replans; repair on vs. off
+        // must agree byte-for-byte (the scenario-level differential on
+        // top of the engine-level bit-identity test).
+        let spec = small_spec()
+            .with_adversary(AdversarySpec::Corruptor)
+            .with_faults(FaultSchedule::Rotating { count: 1 })
+            .with_q(4)
+            .with_seeds(2);
+        let fast = run_sweep(&spec, 2).unwrap();
+        let slow = run_sweep(&spec.clone().with_plan_repair(false), 2).unwrap();
+        assert_eq!(fast.to_json(), slow.to_json());
+        // The replan counters live in timed JSON only and differ by mode:
+        // repair-off counts every disputed derivation as a full recompute.
+        assert_eq!(slow.aggregate.plan_repairs, 0, "repair-off never repairs");
+        assert!(slow.aggregate.plan_full_recomputes > 0);
+        assert!(
+            fast.aggregate.plan_repairs + fast.aggregate.plan_full_recomputes > 0,
+            "disputes forced replans"
+        );
+        assert!(fast.to_json_timed().contains("\"plan_repairs\":"));
+        assert!(
+            !fast.to_json().contains("plan_repair"),
+            "canonical stays clean"
+        );
+    }
+
+    #[test]
+    fn mutations_migrate_plans_mid_job_and_stay_correct() {
+        // 8 instances, flapping every 2: epochs 0..3 alternate between the
+        // base and one degraded profile, so the shared cache sees exactly
+        // 2 distinct networks and the revisits all hit.
+        let spec = small_spec()
+            .with_n(vec![5])
+            .with_cap(vec![4])
+            .with_seeds(1)
+            .with_q(8)
+            .with_mutations(crate::mutations::MutationSchedule::parse("flap:2:3:50").unwrap());
+        let report = run_sweep(&spec, 1).unwrap();
+        assert!(report.aggregate.all_correct);
+        let m = report.jobs[0].result.as_ref().unwrap();
+        assert_eq!(m.instances, 8);
+        assert_eq!(m.plan_misses, 2, "base + one degraded profile");
+        assert_eq!(m.plan_hits, 2, "epochs 2 and 3 revisit cached profiles");
+        // Thread count still cannot perturb results under mutations.
+        let again = run_sweep(&spec, 4).unwrap();
+        assert_eq!(report.to_json(), again.to_json());
+        // Mutations change measured behavior vs. the static network
+        // (degraded links slow instances down).
+        let static_net = run_sweep(
+            &spec
+                .clone()
+                .with_mutations(crate::mutations::MutationSchedule::None),
+            1,
+        )
+        .unwrap();
+        assert_ne!(report.to_json(), static_net.to_json());
+    }
+
+    #[test]
+    fn mutations_carry_dispute_state_across_migrations() {
+        let spec = small_spec()
+            .with_n(vec![5])
+            .with_cap(vec![4])
+            .with_seeds(1)
+            .with_q(6)
+            .with_adversary(AdversarySpec::Corruptor)
+            .with_faults(FaultSchedule::Fixed(std::collections::BTreeSet::from([2])))
+            .with_mutations(crate::mutations::MutationSchedule::parse("flap:3:2:50").unwrap());
+        let report = run_sweep(&spec, 1).unwrap();
+        assert!(report.aggregate.all_correct);
+        let m = report.jobs[0].result.as_ref().unwrap();
+        // The corruptor is exposed once and STAYS exposed after the epoch
+        // switch: dispute state survived the plan migration.
+        assert_eq!(m.removed, vec![2]);
+        assert!(
+            m.dispute_rounds <= m.dispute_budget,
+            "migrations must not reset the f(f+1) amortization"
+        );
+    }
+
+    #[test]
+    fn disk_warm_cache_reproduces_cold_results_byte_for_byte() {
+        let dir = std::env::temp_dir().join(format!(
+            "nab-sweep-disk-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let spec = small_spec()
+            .with_adversary(AdversarySpec::Corruptor)
+            .with_faults(FaultSchedule::Rotating { count: 1 });
+        let cold = run_sweep(&spec, 2).unwrap();
+        // First disk-backed sweep populates the directory…
+        let store = nab::plan::PlanCache::with_dir(&dir);
+        let warm1 = run_sweep_with_cache(&spec, 2, Some(&store)).unwrap();
+        assert!(store.stats().disk_stores > 0, "plans persisted");
+        // …a FRESH cache over the same directory loads instead of building.
+        let reload = nab::plan::PlanCache::with_dir(&dir);
+        let warm2 = run_sweep_with_cache(&spec, 2, Some(&reload)).unwrap();
+        assert!(reload.stats().disk_hits > 0, "disk tier served plans");
+        assert_eq!(reload.stats().misses, 0, "nothing rebuilt from scratch");
+        assert_eq!(cold.to_json(), warm1.to_json());
+        assert_eq!(cold.to_json(), warm2.to_json());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

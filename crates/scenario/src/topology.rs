@@ -123,6 +123,46 @@ pub enum TopologyTemplate {
         /// Uniform capacity.
         cap: Tok,
     },
+    /// Three-tier fat-tree `fattree:K:CAP` (`K` even; `(K/2)²` cores,
+    /// `K` pods of `K/2` aggregation + `K/2` edge switches — the
+    /// datacenter Clos fabric, `5K²/4` nodes total).
+    FatTree {
+        /// Pod/port parameter (even, ≥ 2).
+        k: Tok,
+        /// Uniform link capacity.
+        cap: Tok,
+    },
+    /// 2-D wraparound torus `torus:ROWS:COLS:CAP` (each node links to its
+    /// four grid neighbors; vertex connectivity 4).
+    Torus {
+        /// Grid rows (≥ 3).
+        rows: Tok,
+        /// Grid columns (≥ 3).
+        cols: Tok,
+        /// Uniform link capacity.
+        cap: Tok,
+    },
+    /// Dragonfly `dragonfly:GROUPS:ROUTERS:CAP`: fully connected groups
+    /// of `ROUTERS` routers, one global link per group pair.
+    Dragonfly {
+        /// Number of groups (≥ 2).
+        groups: Tok,
+        /// Routers per group (≥ 2).
+        routers: Tok,
+        /// Uniform link capacity.
+        cap: Tok,
+    },
+    /// Random-regular-ish expander `expander:N:DEG:MAXCAP`: a
+    /// bidirectional ring plus random chords to degree ≈ `DEG`, caps
+    /// uniform in `1..=MAXCAP`.
+    Expander {
+        /// Node count (≥ 3).
+        n: Tok,
+        /// Target degree (≥ 2).
+        degree: Tok,
+        /// Maximum link capacity.
+        max_cap: Tok,
+    },
     /// Random guaranteed-`K`-connected family
     /// `kconnected:N:K:MAXCAP:EXTRA%` (see
     /// [`gen::random_k_connected`]).
@@ -212,9 +252,41 @@ impl TopologyTemplate {
                     extra_pct: tok(4)?,
                 })
             }
+            "fattree" => {
+                arity(2)?;
+                Ok(TopologyTemplate::FatTree {
+                    k: tok(1)?,
+                    cap: tok(2)?,
+                })
+            }
+            "torus" => {
+                arity(3)?;
+                Ok(TopologyTemplate::Torus {
+                    rows: tok(1)?,
+                    cols: tok(2)?,
+                    cap: tok(3)?,
+                })
+            }
+            "dragonfly" => {
+                arity(3)?;
+                Ok(TopologyTemplate::Dragonfly {
+                    groups: tok(1)?,
+                    routers: tok(2)?,
+                    cap: tok(3)?,
+                })
+            }
+            "expander" => {
+                arity(3)?;
+                Ok(TopologyTemplate::Expander {
+                    n: tok(1)?,
+                    degree: tok(2)?,
+                    max_cap: tok(3)?,
+                })
+            }
             other => Err(format!(
                 "unknown topology {other:?} (known: fig1a, fig1b, fig2a, fig2a-closed, \
-                 complete, hetero, ring, barbell, circulant, kconnected)"
+                 complete, hetero, ring, barbell, circulant, kconnected, fattree, torus, \
+                 dragonfly, expander)"
             )),
         }
     }
@@ -267,6 +339,18 @@ impl TopologyTemplate {
                 t(max_cap),
                 t(extra_pct)
             ),
+            TopologyTemplate::FatTree { k, cap } => format!("fattree:{}:{}", t(k), t(cap)),
+            TopologyTemplate::Torus { rows, cols, cap } => {
+                format!("torus:{}:{}:{}", t(rows), t(cols), t(cap))
+            }
+            TopologyTemplate::Dragonfly {
+                groups,
+                routers,
+                cap,
+            } => format!("dragonfly:{}:{}:{}", t(groups), t(routers), t(cap)),
+            TopologyTemplate::Expander { n, degree, max_cap } => {
+                format!("expander:{}:{}:{}", t(n), t(degree), t(max_cap))
+            }
         }
     }
 
@@ -372,6 +456,61 @@ impl TopologyTemplate {
                     &mut rng,
                 ))
             }
+            TopologyTemplate::FatTree { k, cap } => {
+                let (k, cap) = (k.resolve(ctx) as usize, cap.resolve(ctx));
+                if k < 2 || k % 2 != 0 || cap == 0 {
+                    return Err(format!(
+                        "fattree: need even k ≥ 2 and cap ≥ 1, got k={k} cap={cap}"
+                    ));
+                }
+                Ok(gen::fat_tree(k, cap))
+            }
+            TopologyTemplate::Torus { rows, cols, cap } => {
+                let (rows, cols, cap) = (
+                    rows.resolve(ctx) as usize,
+                    cols.resolve(ctx) as usize,
+                    cap.resolve(ctx),
+                );
+                if rows < 3 || cols < 3 || cap == 0 {
+                    return Err(format!(
+                        "torus: need rows ≥ 3, cols ≥ 3, cap ≥ 1; got rows={rows} \
+                         cols={cols} cap={cap}"
+                    ));
+                }
+                Ok(gen::torus(rows, cols, cap))
+            }
+            TopologyTemplate::Dragonfly {
+                groups,
+                routers,
+                cap,
+            } => {
+                let (groups, routers, cap) = (
+                    groups.resolve(ctx) as usize,
+                    routers.resolve(ctx) as usize,
+                    cap.resolve(ctx),
+                );
+                if groups < 2 || routers < 2 || cap == 0 {
+                    return Err(format!(
+                        "dragonfly: need groups ≥ 2, routers ≥ 2, cap ≥ 1; got \
+                         groups={groups} routers={routers} cap={cap}"
+                    ));
+                }
+                Ok(gen::dragonfly(groups, routers, cap))
+            }
+            TopologyTemplate::Expander { n, degree, max_cap } => {
+                let (nn, degree, max_cap) = (
+                    n.resolve(ctx) as usize,
+                    degree.resolve(ctx) as usize,
+                    max_cap.resolve(ctx),
+                );
+                if nn < 3 || degree < 2 || max_cap == 0 {
+                    return Err(format!(
+                        "expander: need n ≥ 3, degree ≥ 2, max_cap ≥ 1; got n={nn} \
+                         degree={degree} max_cap={max_cap}"
+                    ));
+                }
+                Ok(gen::random_expander(nn, degree, max_cap, &mut rng))
+            }
         }
     }
 }
@@ -412,6 +551,10 @@ mod tests {
             "barbell:3:$cap:1:1",
             "circulant:$n:2:$cap",
             "kconnected:$n:2f+1:$cap:25",
+            "fattree:4:$cap",
+            "torus:4:8:$cap",
+            "dragonfly:6:4:$cap",
+            "expander:$n:4:$cap",
         ] {
             let t = TopologyTemplate::parse(s).unwrap();
             assert_eq!(t.spec_string(), s);
@@ -420,7 +563,7 @@ mod tests {
 
     #[test]
     fn unknown_family_is_an_error() {
-        let e = TopologyTemplate::parse("torus:4:4").unwrap_err();
+        let e = TopologyTemplate::parse("hypercube:4:4").unwrap_err();
         assert!(e.contains("unknown topology"), "{e}");
         assert!(e.contains("known:"), "{e}");
     }
@@ -468,5 +611,39 @@ mod tests {
         assert!(t.build(&ctx()).is_err());
         let t = TopologyTemplate::parse("barbell:3:1:5:1").unwrap();
         assert!(t.build(&ctx()).is_err());
+        // Odd fat-tree k, degenerate torus, 1-group dragonfly, degree-1
+        // expander: all rejected, never panicked.
+        for bad in [
+            "fattree:3:2",
+            "torus:2:4:1",
+            "dragonfly:1:4:1",
+            "expander:8:1:2",
+        ] {
+            let t = TopologyTemplate::parse(bad).unwrap();
+            assert!(t.build(&ctx()).is_err(), "{bad} should reject");
+        }
+    }
+
+    #[test]
+    fn datacenter_families_build_at_scale() {
+        use nab_netgraph::connectivity::strongly_connected;
+        let cases = [
+            ("fattree:4:8", 20),
+            ("torus:4:5:2", 20),
+            ("dragonfly:5:4:3", 20),
+            ("expander:24:4:6", 24),
+        ];
+        for (spec, nodes) in cases {
+            let g = TopologyTemplate::parse(spec)
+                .unwrap()
+                .build(&ctx())
+                .unwrap();
+            assert_eq!(g.active_count(), nodes, "{spec}");
+            assert!(strongly_connected(&g), "{spec}");
+        }
+        // Random expanders are deterministic per seed.
+        let t = TopologyTemplate::parse("expander:24:4:6").unwrap();
+        let (a, b) = (t.build(&ctx()).unwrap(), t.build(&ctx()).unwrap());
+        assert_eq!(a, b);
     }
 }

@@ -67,6 +67,17 @@ SCENARIO MODE:
                         streams' equality columns); results are
                         byte-identical either way (see docs/perf.md).
                         Overrides the file's `batch` key to off
+    --no-repair         disable incremental plan repair: every dispute
+                        replans G_k from scratch instead of repairing the
+                        previous plan; results are byte-identical either
+                        way (see docs/plan-cache.md). Overrides the
+                        file's `plan_repair` key to off
+    --plan-cache-dir D  persist network plans under directory D,
+                        content-addressed by canonical digest; later runs
+                        over the same networks load plans from disk
+                        instead of rebuilding them. Results are
+                        byte-identical with or without the directory
+                        (see docs/plan-cache.md)
     --json PATH         write the full sweep report as JSON (- = stdout)
     --timings           include measured wall-clock wall_*_ns, plan-cache,
                         latency-percentile, and metrics fields in the JSON
@@ -134,6 +145,8 @@ struct Args {
     progress: bool,
     net: bool,
     no_batch: bool,
+    no_repair: bool,
+    plan_cache_dir: Option<String>,
     topology: String,
     f: usize,
     symbols: usize,
@@ -157,6 +170,8 @@ fn parse_args() -> Result<Option<Args>, String> {
         progress: false,
         net: false,
         no_batch: false,
+        no_repair: false,
+        plan_cache_dir: None,
         topology: "complete:4:2".into(),
         f: 1,
         symbols: 64,
@@ -180,7 +195,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         "--broadcast",
         "--bounds",
     ];
-    const SCENARIO_ONLY: [&str; 8] = [
+    const SCENARIO_ONLY: [&str; 10] = [
         "--threads",
         "--json",
         "--timings",
@@ -189,6 +204,8 @@ fn parse_args() -> Result<Option<Args>, String> {
         "--progress",
         "--net",
         "--no-batch",
+        "--no-repair",
+        "--plan-cache-dir",
     ];
     let mut single_flags: Vec<&'static str> = Vec::new();
     let mut scenario_flags: Vec<&'static str> = Vec::new();
@@ -245,6 +262,8 @@ fn parse_args() -> Result<Option<Args>, String> {
             "--progress" => args.progress = true,
             "--net" => args.net = true,
             "--no-batch" => args.no_batch = true,
+            "--no-repair" => args.no_repair = true,
+            "--plan-cache-dir" => args.plan_cache_dir = Some(take(&mut i)?),
             "--topology" => args.topology = take(&mut i)?,
             "--f" => args.f = take(&mut i)?.parse().map_err(|e| format!("--f: {e}"))?,
             "--symbols" => {
@@ -446,6 +465,13 @@ fn run_scenario_mode(args: &Args) -> Result<ExitCode, String> {
     if args.no_batch {
         spec.batch = false;
     }
+    if args.no_repair {
+        spec.plan_repair = false;
+    }
+    // The disk tier lives behind a sweep-external cache so plans persist
+    // past this process; results stay byte-identical regardless (plans
+    // are content-addressed and verified on load).
+    let disk_cache = args.plan_cache_dir.as_deref().map(PlanCache::with_dir);
     let threads = args.threads.unwrap_or(spec.threads);
     eprintln!(
         "scenario {:?}: {} jobs (topology {}, adversary {}, faults {}{})",
@@ -485,7 +511,7 @@ fn run_scenario_mode(args: &Args) -> Result<ExitCode, String> {
     };
     let opts = SweepOptions {
         threads,
-        cache: None,
+        cache: disk_cache.as_ref(),
         trace: sink.clone().map(|s| s as Arc<dyn TraceSink>),
         progress: if args.progress {
             Some(&report_progress)
@@ -496,6 +522,16 @@ fn run_scenario_mode(args: &Args) -> Result<ExitCode, String> {
     let report = scenario::run_sweep_with_options(&spec, &opts)?;
     if args.progress && stderr_tty {
         eprintln!();
+    }
+    if let Some(cache) = disk_cache.as_ref() {
+        let s = cache.stats();
+        eprintln!(
+            "plan cache dir {:?}: {} loaded from disk, {} stored, {} rejected",
+            args.plan_cache_dir.as_deref().unwrap_or("-"),
+            s.disk_hits,
+            s.disk_stores,
+            s.disk_rejects,
+        );
     }
     // With `--json -` (or `--trace -`) stdout must carry pure
     // machine-readable output (pipeable to jq), so the human-readable

@@ -466,7 +466,7 @@ fn scenario_mode_reports_parse_errors_with_line_numbers() {
     let dir = std::env::temp_dir().join("nab-sim-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("broken.scenario");
-    std::fs::write(&path, "name = broken\ntopology = torus:4:4\n").unwrap();
+    std::fs::write(&path, "name = broken\ntopology = hypercube:4:4\n").unwrap();
     let out = nab_sim(&["--scenario", path.to_str().unwrap()]);
     assert!(!out.status.success());
     let err = stderr(&out);
