@@ -8,13 +8,54 @@
 //! a virtual complete graph on which classic BB protocols run unchanged.
 
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 use nab_netgraph::connectivity::{
     strongly_connected, vertex_connectivity_at_least, vertex_disjoint_paths,
 };
 use nab_netgraph::{DiGraph, NodeId};
-use nab_sim::NetSim;
+use nab_sim::{NetSim, SendError};
+
+/// Errors surfaced by the fallible routing entry points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouterError {
+    /// The pair has no `2f+1` disjoint paths — the node was removed after
+    /// [`PathRouter::build`] proved connectivity, or never existed.
+    Unroutable {
+        /// Requested source.
+        src: NodeId,
+        /// Requested destination.
+        dst: NodeId,
+    },
+    /// A hop of an extracted path no longer exists in the simulator.
+    Send(SendError),
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::Unroutable { src, dst } => {
+                write!(f, "no disjoint path system from {src} to {dst}")
+            }
+            RouterError::Send(e) => write!(f, "routed hop failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RouterError::Send(e) => Some(e),
+            RouterError::Unroutable { .. } => None,
+        }
+    }
+}
+
+impl From<SendError> for RouterError {
+    fn from(e: SendError) -> Self {
+        RouterError::Send(e)
+    }
+}
 
 /// Routes logical unicasts over vertex-disjoint path systems, computed
 /// lazily per ordered pair.
@@ -38,9 +79,16 @@ pub struct PathRouter {
 
 impl Clone for PathRouter {
     fn clone(&self) -> Self {
+        // Poison-tolerant: the memo only ever holds fully-constructed
+        // `Arc` entries, so a panicked writer cannot leave torn state.
+        let paths = self
+            .paths
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
         PathRouter {
             g: self.g.clone(),
-            paths: RwLock::new(self.paths.read().expect("router lock poisoned").clone()),
+            paths: RwLock::new(paths),
             copies: self.copies,
         }
     }
@@ -91,27 +139,44 @@ impl PathRouter {
     /// The disjoint paths used for the ordered pair, computing and
     /// memoizing them on first use.
     ///
+    /// Returns [`RouterError::Unroutable`] if the pair cannot be routed
+    /// (inactive node) — impossible while the graph that passed
+    /// [`PathRouter::build`] is intact, by Menger's theorem.
+    pub fn try_paths_for(
+        &self,
+        s: NodeId,
+        t: NodeId,
+    ) -> Result<Arc<Vec<Vec<NodeId>>>, RouterError> {
+        // Lock access is poison-tolerant: the memo map only ever holds
+        // fully-constructed entries (`or_insert` of a finished `Arc`), so a
+        // panicked holder cannot have left it torn.
+        if let Some(p) = self
+            .paths
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&(s, t))
+        {
+            return Ok(Arc::clone(p));
+        }
+        let extracted = vertex_disjoint_paths(&self.g, s, t, self.copies)
+            .ok_or(RouterError::Unroutable { src: s, dst: t })?;
+        let p = Arc::new(extracted);
+        let mut map = self.paths.write().unwrap_or_else(PoisonError::into_inner);
+        // Another thread may have raced us here; keep the first entry so
+        // every caller shares one allocation (both computations are
+        // identical anyway — extraction is deterministic).
+        Ok(Arc::clone(map.entry((s, t)).or_insert(p)))
+    }
+
+    /// Infallible convenience over [`PathRouter::try_paths_for`].
+    ///
     /// # Panics
     ///
     /// Panics if the pair cannot be routed (inactive node).
     pub fn paths_for(&self, s: NodeId, t: NodeId) -> Arc<Vec<Vec<NodeId>>> {
-        if let Some(p) = self
-            .paths
-            .read()
-            .expect("router lock poisoned")
-            .get(&(s, t))
-        {
-            return Arc::clone(p);
-        }
-        let p = Arc::new(
-            vertex_disjoint_paths(&self.g, s, t, self.copies)
-                .expect("connectivity was proven at build time"),
-        );
-        let mut map = self.paths.write().expect("router lock poisoned");
-        // Another thread may have raced us here; keep the first entry so
-        // every caller shares one allocation (both computations are
-        // identical anyway — extraction is deterministic).
-        Arc::clone(map.entry((s, t)).or_insert(p))
+        self.try_paths_for(s, t)
+            // nab-lint: allow(NAB003): documented panicking convenience; fallible callers use try_paths_for
+            .expect("connectivity was proven at build time")
     }
 
     /// Performs one reliable unicast of `value` (`bits` wide) from `origin`
@@ -123,9 +188,11 @@ impl PathRouter {
     ///
     /// Returns the majority value among delivered copies, or `None` if no
     /// strict majority exists (cannot happen when at most `f` of `2f+1`
-    /// copies are corrupted).
+    /// copies are corrupted). Fails with [`RouterError`] if the pair has no
+    /// path system or a path hop lost its link — both impossible while the
+    /// graph proven connected at build time is intact.
     #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
-    pub fn unicast<V, FC>(
+    pub fn try_unicast<V, FC>(
         &self,
         net: &mut NetSim<Routed<V>>,
         faulty: &BTreeSet<NodeId>,
@@ -134,12 +201,12 @@ impl PathRouter {
         bits: u64,
         value: V,
         corrupt: &mut FC,
-    ) -> Option<V>
+    ) -> Result<Option<V>, RouterError>
     where
         V: Clone + Eq,
         FC: FnMut(NodeId, &V) -> V,
     {
-        let paths = self.paths_for(origin, target);
+        let paths = self.try_paths_for(origin, target)?;
         // Current position and carried value per copy.
         let mut carried: Vec<V> = vec![value.clone(); paths.len()];
         let max_hops = paths.iter().map(|p| p.len() - 1).max().unwrap_or(0);
@@ -161,8 +228,7 @@ impl PathRouter {
                     path_idx: idx,
                     value: carried[idx].clone(),
                 };
-                net.send(a, b, bits, msg)
-                    .expect("routed path uses real links");
+                net.send(a, b, bits, msg)?;
             }
             net.deliver_round(&format!("route/{origin}->{target}/hop{hop}"));
         }
@@ -191,7 +257,34 @@ impl PathRouter {
             // within a single unicast call.
             debug_assert!(false, "unexpected routed message {:?}", (m.0));
         }
-        majority(&final_copies)
+        Ok(majority(&final_copies))
+    }
+
+    /// Infallible convenience over [`PathRouter::try_unicast`] for callers
+    /// operating on the graph that passed [`PathRouter::build`], where
+    /// routing cannot fail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair cannot be routed or a path hop lost its link.
+    #[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
+    pub fn unicast<V, FC>(
+        &self,
+        net: &mut NetSim<Routed<V>>,
+        faulty: &BTreeSet<NodeId>,
+        origin: NodeId,
+        target: NodeId,
+        bits: u64,
+        value: V,
+        corrupt: &mut FC,
+    ) -> Option<V>
+    where
+        V: Clone + Eq,
+        FC: FnMut(NodeId, &V) -> V,
+    {
+        self.try_unicast(net, faulty, origin, target, bits, value, corrupt)
+            // nab-lint: allow(NAB003): documented panicking convenience; fallible callers use try_unicast
+            .expect("routing over the build-time graph cannot fail")
     }
 }
 

@@ -6,6 +6,8 @@
 //! per-instance time series and the cumulative average converging to the
 //! steady state.
 
+// nab-lint: allow-file(NAB003): perf-harness setup; aborting on a malformed experiment configuration is the intended behavior
+
 use std::collections::BTreeSet;
 
 use nab::adversary::{FalseAlarm, LyingCorruptor, NabAdversary, TruthfulCorruptor};

@@ -7,6 +7,8 @@
 //! protocol pays full price on the thin links; NAB routes around them, so
 //! the throughput ratio grows without bound as capacities scale.
 
+// nab-lint: allow-file(NAB003): perf-harness setup; aborting on a malformed experiment configuration is the intended behavior
+
 use std::collections::BTreeSet;
 
 use nab::adversary::HonestStrategy;

@@ -4,6 +4,8 @@
 //! on tree depths measured from real arborescence packings, confirming
 //! that pipelining recovers the zero-delay bound of Eq. 6.
 
+// nab-lint: allow-file(NAB003): perf-harness setup; aborting on a malformed experiment configuration is the intended behavior
+
 use nab::pipeline::PipelineModel;
 use nab_netgraph::arborescence::pack_arborescences;
 use nab_netgraph::flow::broadcast_rate;

@@ -10,8 +10,8 @@
 //! ([`nab_scenario::json::Json`]); regeneration instructions live in
 //! `docs/perf.md`.
 
+use nab_obs::clock;
 use std::hint::black_box;
-use std::time::Instant;
 
 use nab::equality::CodingScheme;
 use nab::value::Value;
@@ -101,7 +101,7 @@ fn time<R>(iters: u64, mut f: impl FnMut() -> R) -> u64 {
     black_box(f());
     let mut best = u64::MAX;
     for _ in 0..MIN_REPS {
-        let t0 = Instant::now();
+        let t0 = clock::mono_now();
         for _ in 0..iters {
             black_box(f());
         }
@@ -419,7 +419,7 @@ pub fn run_sweep_bench(quick: bool, threads: usize) -> Result<(SweepReport, u64,
     } else {
         threads
     };
-    let t0 = Instant::now();
+    let t0 = clock::mono_now();
     let report = nab_scenario::sweep::run_sweep(&spec, resolved)?;
     Ok((report, t0.elapsed().as_nanos() as u64, resolved))
 }
@@ -525,18 +525,18 @@ pub fn run_plan_cache_bench(quick: bool, threads: usize) -> Result<PlanCacheBenc
     };
 
     spec.plan_cache = false;
-    let t0 = Instant::now();
+    let t0 = clock::mono_now();
     let cold = nab_scenario::sweep::run_sweep(&spec, resolved)?;
     let cold_wall_ns = t0.elapsed().as_nanos() as u64;
 
     spec.plan_cache = true;
     let cache = nab::plan::PlanCache::new();
-    let t0 = Instant::now();
+    let t0 = clock::mono_now();
     let cached = nab_scenario::run_sweep_with_cache(&spec, resolved, Some(&cache))?;
     let cache_cold_wall_ns = t0.elapsed().as_nanos() as u64;
     let stats = cache.stats();
 
-    let t0 = Instant::now();
+    let t0 = clock::mono_now();
     let warm = nab_scenario::run_sweep_with_cache(&spec, resolved, Some(&cache))?;
     let cache_warm_wall_ns = t0.elapsed().as_nanos() as u64;
 
@@ -566,13 +566,13 @@ pub fn run_plan_cache_bench(quick: bool, threads: usize) -> Result<PlanCacheBenc
     }
     let _ = std::fs::remove_dir_all(&dir);
     let disk_cold_cache = nab::plan::PlanCache::with_dir(&dir);
-    let t0 = Instant::now();
+    let t0 = clock::mono_now();
     let disk_grid_points = plan_grid(&disk_spec, &disk_cold_cache)?;
     let disk_cold_wall_ns = t0.elapsed().as_nanos() as u64;
     let disk_stores = disk_cold_cache.stats().disk_stores;
 
     let disk_warm_cache = nab::plan::PlanCache::with_dir(&dir);
-    let t0 = Instant::now();
+    let t0 = clock::mono_now();
     plan_grid(&disk_spec, &disk_warm_cache)?;
     let disk_warm_wall_ns = t0.elapsed().as_nanos() as u64;
     let disk_hits = disk_warm_cache.stats().disk_hits;
@@ -656,12 +656,12 @@ pub fn run_plan_repair_bench(quick: bool, threads: usize) -> Result<PlanRepairBe
     };
 
     spec.plan_repair = true;
-    let t0 = Instant::now();
+    let t0 = clock::mono_now();
     let on = nab_scenario::sweep::run_sweep(&spec, resolved)?;
     let repair_wall_ns = t0.elapsed().as_nanos() as u64;
 
     spec.plan_repair = false;
-    let t0 = Instant::now();
+    let t0 = clock::mono_now();
     let off = nab_scenario::sweep::run_sweep(&spec, resolved)?;
     let norepair_wall_ns = t0.elapsed().as_nanos() as u64;
 

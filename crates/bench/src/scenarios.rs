@@ -9,6 +9,8 @@
 //! scenario first, a bespoke module only if the design cannot be
 //! expressed declaratively.
 
+// nab-lint: allow-file(NAB003): perf-harness setup; aborting on a malformed experiment configuration is the intended behavior
+
 use std::collections::BTreeSet;
 
 use nab_scenario::{

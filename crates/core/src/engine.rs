@@ -517,7 +517,7 @@ impl NabEngine {
                 m.pairs == self.disputes.pairs && m.removed == self.disputes.removed
             });
             if !hit {
-                let t0 = std::time::Instant::now();
+                let t0 = nab_obs::clock::mono_now();
                 let gamma_new = gamma_k(gk, SOURCE);
                 let trees_new = pack_arborescences(gk, SOURCE, gamma_new).ok_or_else(|| {
                     NabError::ArborescencePacking {
@@ -527,6 +527,12 @@ impl NabEngine {
                     }
                 })?;
                 let ns = t0.elapsed().as_nanos() as u64;
+                // DetSan: the witness-incremental packer must produce a
+                // packing as valid as the from-scratch one; re-verify it
+                // against `G_k` before it is memoized and used.
+                #[cfg(feature = "sanitize")]
+                nab_netgraph::arborescence::validate_packing(gk, SOURCE, &trees_new)
+                    .expect("DetSan: incremental repair produced an invalid packing"); // nab-lint: allow(NAB003): DetSan check; aborting on a violated invariant is the point
                 let counted_repair = gamma_new == plan.gamma0();
                 if counted_repair {
                     self.repair_stats.repairs += 1;
@@ -545,7 +551,7 @@ impl NabEngine {
                     counted_repair,
                 });
             }
-            let m = self.memo.as_ref().expect("memo was just ensured");
+            let m = self.memo.as_ref().expect("memo was just ensured"); // nab-lint: allow(NAB003): ensure_memo() on the preceding line set it
             gamma = m.gamma;
             trees_memo = Arc::clone(&m.trees);
             &trees_memo
@@ -553,7 +559,7 @@ impl NabEngine {
             // Full-recompute fallback (`plan_repair = false`): the
             // pre-repair behavior — re-derive everything per instance with
             // the reference packer.
-            let t0 = std::time::Instant::now();
+            let t0 = nab_obs::clock::mono_now();
             gamma = gamma_k(gk, SOURCE);
             trees_shrunk = pack_arborescences_naive(gk, SOURCE, gamma).ok_or_else(|| {
                 NabError::ArborescencePacking {
@@ -571,7 +577,7 @@ impl NabEngine {
 
         // Phase 1.
         let p1_span = PhaseSpan::enter(Phase::Phase1);
-        let t0 = std::time::Instant::now();
+        let t0 = nab_obs::clock::mono_now();
         let p1 = run_phase1(gk, SOURCE, input, trees, faulty, adv);
         let mut times = PhaseTimes {
             phase1: p1.duration,
@@ -582,6 +588,11 @@ impl NabEngine {
             ..PhaseWallNanos::default()
         };
         drop(p1_span);
+        #[cfg(feature = "sanitize")]
+        trace::emit(EventKind::DetSanDigest {
+            phase: Phase::Phase1,
+            digest: crate::detsan::digest_values(&p1.values),
+        });
 
         // Special case 2: at least f nodes excluded → everyone left is
         // fault-free; Phase 1 alone is reliable.
@@ -621,16 +632,16 @@ impl NabEngine {
 
         // Phase 2: equality check + flag broadcast.
         let eq_span = PhaseSpan::enter(Phase::Equality);
-        let t0 = std::time::Instant::now();
+        let t0 = nab_obs::clock::mono_now();
         let rho = if undisputed {
             plan.rho0()
         } else if self.repair {
             let rho0 = plan.rho0();
-            let m = self.memo.as_mut().expect("memo set while packing trees");
+            let m = self.memo.as_mut().expect("memo set while packing trees"); // nab-lint: allow(NAB003): memo is set before tree packing completes
             match m.rho {
                 Some(r) => r,
                 None => {
-                    let t0 = std::time::Instant::now();
+                    let t0 = nab_obs::clock::mono_now();
                     let r = rho_k(gk, self.cfg.f, &self.disputes.pairs)
                         .ok_or(NabError::NoEqualityParameter)?;
                     self.repair_stats.repair_ns += t0.elapsed().as_nanos() as u64;
@@ -646,7 +657,7 @@ impl NabEngine {
                 }
             }
         } else {
-            let t0 = std::time::Instant::now();
+            let t0 = nab_obs::clock::mono_now();
             let r =
                 rho_k(gk, self.cfg.f, &self.disputes.pairs).ok_or(NabError::NoEqualityParameter)?;
             self.repair_stats.repair_ns += t0.elapsed().as_nanos() as u64;
@@ -665,6 +676,11 @@ impl NabEngine {
         times.equality = eq.duration;
         wall.equality = t0.elapsed().as_nanos() as u64;
         drop(eq_span);
+        #[cfg(feature = "sanitize")]
+        trace::emit(EventKind::DetSanDigest {
+            phase: Phase::Equality,
+            digest: crate::detsan::digest_flags(&eq.flags),
+        });
 
         Ok(self.finish_instance(
             gk, trees, gamma, rho, &scheme, p1, eq, input, faulty, adv, times, wall,
@@ -692,7 +708,7 @@ impl NabEngine {
     ) -> InstanceReport {
         let plan = Arc::clone(&self.plan);
         let flags_span = PhaseSpan::enter(Phase::Flags);
-        let t0 = std::time::Instant::now();
+        let t0 = nab_obs::clock::mono_now();
         let participants: Vec<NodeId> = gk.nodes().collect();
         let f_res = self.residual_f();
         let flags = run_flag_broadcast(
@@ -709,13 +725,18 @@ impl NabEngine {
         times.flags = flags.duration;
         wall.flags = t0.elapsed().as_nanos() as u64;
         drop(flags_span);
+        #[cfg(feature = "sanitize")]
+        trace::emit(EventKind::DetSanDigest {
+            phase: Phase::Flags,
+            digest: crate::detsan::digest_flags(&flags.announced),
+        });
 
         // All fault-free nodes see the same set of agreed flags; evaluate
         // at an arbitrary fault-free participant.
         let observer = *participants
             .iter()
             .find(|v| !faulty.contains(v))
-            .expect("at least one fault-free node");
+            .expect("at least one fault-free node"); // nab-lint: allow(NAB003): n >= 3f+1 leaves a fault-free node after f removals
         let mismatch = flags.any_mismatch(observer);
 
         if !mismatch {
@@ -754,7 +775,7 @@ impl NabEngine {
 
         // Phase 3: dispute control.
         let dispute_span = PhaseSpan::enter(Phase::Dispute);
-        let t0 = std::time::Instant::now();
+        let t0 = nab_obs::clock::mono_now();
         let truthful = honest_claims(gk, SOURCE, input, trees, scheme, &p1, &eq, &flags.announced);
         let mut broadcast_claims: BTreeMap<NodeId, NodeClaims> = BTreeMap::new();
         for (&v, honest) in &truthful {
@@ -812,6 +833,11 @@ impl NabEngine {
         let outputs = participants.iter().map(|&v| (v, decided.clone())).collect();
         wall.dispute = t0.elapsed().as_nanos() as u64;
         drop(dispute_span);
+        #[cfg(feature = "sanitize")]
+        trace::emit(EventKind::DetSanDigest {
+            phase: Phase::Dispute,
+            digest: crate::detsan::digest_disputes(&self.disputes),
+        });
 
         let mut delivered = None;
         if let Some(nx) = &self.net {
@@ -952,7 +978,7 @@ pub fn run_instances_batched(
         engine.instance += 1;
         spans.push(InstanceSpan::enter((engine.instance - 1) as u64));
         let p1_span = PhaseSpan::enter(Phase::Phase1);
-        let t0 = std::time::Instant::now();
+        let t0 = nab_obs::clock::mono_now();
         let p1 = run_phase1(gk, SOURCE, input, trees, faulty, &mut *advs[s]);
         times.push(PhaseTimes {
             phase1: p1.duration,
@@ -968,7 +994,7 @@ pub fn run_instances_batched(
 
     // Equality check: one coding scheme (identical across streams by
     // construction), all streams' columns in one slab per edge.
-    let t0 = std::time::Instant::now();
+    let t0 = nab_obs::clock::mono_now();
     let scheme = plan.instance_scheme(cfg.seed, engines[0].instance as u64);
     let values: Vec<&BTreeMap<NodeId, Value>> = p1s.iter().map(|p| &p.values).collect();
     let eqs = crate::phase2::run_equality_phase_batched(gk, &values, &scheme, faulty, advs);

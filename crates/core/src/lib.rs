@@ -50,6 +50,8 @@
 
 pub mod adversary;
 pub mod bounds;
+#[cfg(feature = "sanitize")]
+pub mod detsan;
 pub mod dispute;
 pub mod engine;
 pub mod equality;

@@ -92,7 +92,8 @@ impl<'a> Reader<'a> {
         let end = self.pos.checked_add(8).ok_or("length overflow")?;
         let bytes = self.buf.get(self.pos..end).ok_or("truncated payload")?;
         self.pos = end;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("8-byte slice")))
+        let arr: [u8; 8] = bytes.try_into().map_err(|_| "truncated u64 field")?;
+        Ok(u64::from_le_bytes(arr))
     }
 
     fn u8(&mut self) -> Result<u8, String> {
@@ -145,14 +146,18 @@ fn decode(bytes: &[u8], key: &PlanKey, g: &DiGraph, f: usize) -> Result<Executio
         return Err("file too short".into());
     }
     let (body, tail) = bytes.split_at(bytes.len() - 8);
-    let stored_sum = u64::from_le_bytes(tail.try_into().expect("8-byte tail"));
+    let tail: [u8; 8] = tail.try_into().map_err(|_| "truncated checksum")?;
+    let stored_sum = u64::from_le_bytes(tail);
     if fnv1a(body) != stored_sum {
         return Err("checksum mismatch".into());
     }
     if &body[..MAGIC.len()] != MAGIC {
         return Err("bad magic".into());
     }
-    let version = u32::from_le_bytes(body[MAGIC.len()..MAGIC.len() + 4].try_into().unwrap());
+    let version_bytes: [u8; 4] = body[MAGIC.len()..MAGIC.len() + 4]
+        .try_into()
+        .map_err(|_| "truncated version field")?;
+    let version = u32::from_le_bytes(version_bytes);
     if version != VERSION {
         return Err(format!("unsupported version {version}"));
     }
@@ -280,7 +285,7 @@ pub fn load_plan(dir: &Path, key: &PlanKey, g: &DiGraph, f: usize) -> LoadOutcom
             }
         }
     }
-    let t0 = std::time::Instant::now();
+    let t0 = nab_obs::clock::mono_now();
     match decode(&bytes, key, g, f) {
         Ok(mut plan) => {
             plan.set_build_wall_ns(t0.elapsed().as_nanos() as u64);

@@ -99,7 +99,7 @@ pub fn run_phase1(
         let cap = gk
             .find_edge(src, dst)
             .map(|(_, e)| e.cap)
-            .expect("tree edges exist in G_k");
+            .expect("tree edges exist in G_k"); // nab-lint: allow(NAB003): packed trees only use edges of G_k by construction
         duration = duration.max(bits as f64 / cap as f64);
     }
 

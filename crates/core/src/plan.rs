@@ -16,10 +16,12 @@
 //! which is what lets the sweep runner share a [`PlanCache`] across
 //! worker threads without perturbing canonical report JSON.
 
+use nab_obs::clock;
+// nab-lint: allow(NAB002): HashMap here backs point-lookup memo/cache
+// tables only; nothing ever iterates them toward canonical output.
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
-use std::time::Instant;
 
 use nab_bb::router::PathRouter;
 use nab_netgraph::arborescence::{pack_arborescences, Arborescence};
@@ -56,7 +58,7 @@ pub struct ExecutionPlan {
     /// Lazily computed Eq. 6 / Theorem 2 bounds, keyed by enumeration
     /// budget (each distinct budget is computed once; results are
     /// deterministic per `(G, f, budget)`).
-    bounds: RwLock<HashMap<usize, Option<BoundsReport>>>,
+    bounds: RwLock<HashMap<usize, Option<BoundsReport>>>, // nab-lint: allow(NAB002): point lookups only; never iterated toward canonical output
 }
 
 impl std::fmt::Debug for ExecutionPlan {
@@ -86,7 +88,7 @@ impl ExecutionPlan {
     /// Returns the violated condition, with topology/rate context for
     /// packing failures.
     pub fn build(g: DiGraph, f: usize) -> Result<ExecutionPlan, NabError> {
-        let t0 = Instant::now();
+        let t0 = clock::mono_now();
         let n = g.active_count();
         if n < 3 * f + 1 {
             return Err(NabError::TooManyFaults { n, f });
@@ -114,7 +116,7 @@ impl ExecutionPlan {
             spanning_trees0: OnceLock::new(),
             router,
             build_wall_ns: t0.elapsed().as_nanos() as u64,
-            bounds: RwLock::new(HashMap::new()),
+            bounds: RwLock::new(HashMap::new()), // nab-lint: allow(NAB002): point lookups only; never iterated toward canonical output
         })
     }
 
@@ -151,7 +153,7 @@ impl ExecutionPlan {
             spanning_trees0: OnceLock::new(),
             router,
             build_wall_ns: wall_ns,
-            bounds: RwLock::new(HashMap::new()),
+            bounds: RwLock::new(HashMap::new()), // nab-lint: allow(NAB002): point lookups only; never iterated toward canonical output
         })
     }
 
@@ -237,7 +239,15 @@ impl ExecutionPlan {
     /// across sweeps with *different* budgets still reports each sweep's
     /// own deterministic values).
     pub fn bounds_report(&self, budget: usize) -> Option<BoundsReport> {
-        if let Some(cached) = self.bounds.read().expect("bounds poisoned").get(&budget) {
+        // Poison-tolerant lock access throughout: the maps only ever hold
+        // fully-constructed values, so a panicked holder cannot leave them
+        // torn, and a panicked job elsewhere must not wedge the cache.
+        if let Some(cached) = self
+            .bounds
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&budget)
+        {
             return cached.clone();
         }
         // Computed outside the write lock; a concurrent duplicate
@@ -245,7 +255,7 @@ impl ExecutionPlan {
         let computed = crate::bounds::bounds_report(&self.g0, SOURCE, self.f, budget);
         self.bounds
             .write()
-            .expect("bounds poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .entry(budget)
             .or_insert_with(|| computed.clone());
         computed
@@ -323,7 +333,7 @@ pub struct PlanCacheStats {
 /// cache builds a private plan instead of returning a wrong one), so a
 /// hit is always semantically identical to a rebuild.
 pub struct PlanCache {
-    shards: Vec<RwLock<HashMap<PlanKey, Arc<ExecutionPlan>>>>,
+    shards: Vec<RwLock<HashMap<PlanKey, Arc<ExecutionPlan>>>>, // nab-lint: allow(NAB002): point lookups only; never iterated toward canonical output
     /// Disk tier root: misses probe it before building, fresh builds are
     /// persisted into it ([`crate::persist`]).
     dir: Option<std::path::PathBuf>,
@@ -351,7 +361,7 @@ impl PlanCache {
     pub fn with_shards(shards: usize) -> Self {
         PlanCache {
             shards: (0..shards.max(1))
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| RwLock::new(HashMap::new())) // nab-lint: allow(NAB002): point lookups only; never iterated toward canonical output
                 .collect(),
             dir: None,
             hits: AtomicU64::new(0),
@@ -378,6 +388,7 @@ impl PlanCache {
         self.dir.as_deref()
     }
 
+    // nab-lint: allow(NAB002): point lookups only; never iterated toward canonical output
     fn shard(&self, key: &PlanKey) -> &RwLock<HashMap<PlanKey, Arc<ExecutionPlan>>> {
         let idx = (key.canon ^ key.labeled.rotate_left(17) ^ key.f as u64) as usize;
         &self.shards[idx % self.shards.len()]
@@ -395,7 +406,12 @@ impl PlanCache {
     pub fn fetch(&self, g: &DiGraph, f: usize) -> Result<PlanFetch, NabError> {
         let key = PlanKey::of(g, f);
         let shard = self.shard(&key);
-        if let Some(plan) = shard.read().expect("plan shard poisoned").get(&key) {
+        // Poison-tolerant: shards only hold finished `Arc<Plan>` entries.
+        if let Some(plan) = shard
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&key)
+        {
             if Self::verify_hit(plan, &key, g, f) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 nab_obs::trace::emit(nab_obs::trace::EventKind::PlanCacheHit);
@@ -408,7 +424,9 @@ impl PlanCache {
         }
         // Miss (or digest collision): build under the write lock so
         // concurrent workers asking for the same network build it once.
-        let mut shard = shard.write().expect("plan shard poisoned");
+        let mut shard = shard
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(plan) = shard.get(&key) {
             if Self::verify_hit(plan, &key, g, f) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -495,7 +513,11 @@ impl PlanCache {
     pub fn plan_count(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("plan shard poisoned").len())
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
             .sum()
     }
 

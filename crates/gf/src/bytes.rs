@@ -124,7 +124,7 @@ impl ByteMatrix {
     pub fn zero(rows: usize, cols: usize) -> Self {
         let len = rows
             .checked_mul(cols)
-            .expect("ByteMatrix dimensions overflow usize");
+            .expect("ByteMatrix dimensions overflow usize"); // nab-lint: allow(NAB003): dimension overflow is unrecoverable misuse; documented panic
         ByteMatrix {
             rows,
             cols,
@@ -317,7 +317,7 @@ impl ByteMatrix {
             }
             let inv = Gf256(self.data[pr * w + pc])
                 .inv()
-                .expect("pivot non-zero")
+                .expect("pivot non-zero") // nab-lint: allow(NAB003): pivot was selected non-zero by the search above
                 .0;
             scale_row(&mut self.data[pr * w..(pr + 1) * w], inv);
             for r in 0..rows {

@@ -231,12 +231,16 @@ impl FastOps for Gf256 {
 /// Reinterprets a `Gf256` slice as raw bytes (sound: repr(transparent)).
 #[inline]
 fn gf256_bytes(s: &[Gf256]) -> &[u8] {
+    // SAFETY: `Gf256` is `#[repr(transparent)]` over `u8`, so the slice
+    // shares its layout, alignment, and length with a byte slice.
     unsafe { std::slice::from_raw_parts(s.as_ptr() as *const u8, s.len()) }
 }
 
 /// Mutable variant of [`gf256_bytes`].
 #[inline]
 fn gf256_bytes_mut(s: &mut [Gf256]) -> &mut [u8] {
+    // SAFETY: `Gf256` is `#[repr(transparent)]` over `u8` (see above),
+    // and the mutable borrow is exclusive for the returned lifetime.
     unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr() as *mut u8, s.len()) }
 }
 
@@ -371,7 +375,7 @@ pub fn echelon_in_place<F: FastOps>(m: &mut Matrix<F>) -> Vec<usize> {
         if sel != pr {
             m.swap_rows(sel, pr);
         }
-        let inv = m[(pr, pc)].inv().expect("pivot is non-zero");
+        let inv = m[(pr, pc)].inv().expect("pivot is non-zero"); // nab-lint: allow(NAB003): pivot was selected non-zero by the search above
         F::scale_row(m.row_mut(pr), inv);
         for r in 0..rows {
             if r != pr {

@@ -45,7 +45,7 @@ pub fn echelon<F: Field>(a: &Matrix<F>) -> Echelon<F> {
             }
         }
         // Normalize pivot row.
-        let inv = m[(pr, pc)].inv().expect("pivot is non-zero");
+        let inv = m[(pr, pc)].inv().expect("pivot is non-zero"); // nab-lint: allow(NAB003): pivot was selected non-zero by the search above
         for c in 0..cols {
             m[(pr, c)] = m[(pr, c)].mul(inv);
         }
@@ -175,7 +175,7 @@ pub fn determinant<F: Field>(a: &Matrix<F>) -> F {
             // In characteristic 2 a row swap does not change the determinant.
         }
         det = det.mul(m[(pc, pc)]);
-        let inv = m[(pc, pc)].inv().expect("pivot non-zero");
+        let inv = m[(pc, pc)].inv().expect("pivot non-zero"); // nab-lint: allow(NAB003): pivot was selected non-zero by the search above
         for r in (pc + 1)..n {
             if !m[(r, pc)].is_zero() {
                 let factor = m[(r, pc)].mul(inv);

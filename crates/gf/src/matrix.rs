@@ -38,7 +38,7 @@ impl<F: Field> Matrix<F> {
     pub fn zero(rows: usize, cols: usize) -> Self {
         let len = rows
             .checked_mul(cols)
-            .expect("matrix dimensions overflow usize");
+            .expect("matrix dimensions overflow usize"); // nab-lint: allow(NAB003): dimension overflow is unrecoverable misuse; documented panic
         Matrix {
             rows,
             cols,
@@ -63,7 +63,7 @@ impl<F: Field> Matrix<F> {
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> F) -> Self {
         let len = rows
             .checked_mul(cols)
-            .expect("matrix dimensions overflow usize");
+            .expect("matrix dimensions overflow usize"); // nab-lint: allow(NAB003): dimension overflow is unrecoverable misuse; documented panic
         let mut data = Vec::with_capacity(len);
         for r in 0..rows {
             for c in 0..cols {

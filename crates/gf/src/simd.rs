@@ -121,8 +121,12 @@ pub(crate) fn gf256_mul_row_add(dst: &mut [u8], src: &[u8], s: u8) {
     debug_assert!(s >= 2);
     match tier_enum() {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: this tier is only selected after runtime detection
+        // proved AVX2 is available on this CPU.
         Tier::Avx2 => unsafe { gf256_mul_row_add_avx2(dst, src, s) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: this tier is only selected after runtime detection
+        // proved SSSE3 is available on this CPU.
         Tier::Ssse3 => unsafe { gf256_mul_row_add_ssse3(dst, src, s) },
         _ => gf256_mul_row_add_portable(dst, src, s),
     }
@@ -135,8 +139,12 @@ pub(crate) fn gf256_scale_row(row: &mut [u8], s: u8) {
     debug_assert!(s >= 2);
     match tier_enum() {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: this tier is only selected after runtime detection
+        // proved AVX2 is available on this CPU.
         Tier::Avx2 => unsafe { gf256_scale_row_avx2(row, s) },
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: this tier is only selected after runtime detection
+        // proved SSSE3 is available on this CPU.
         Tier::Ssse3 => unsafe { gf256_scale_row_ssse3(row, s) },
         _ => {
             let t = bytes::mul_table(s);
@@ -165,6 +173,9 @@ mod x86 {
     use super::*;
     use std::arch::x86_64::*;
 
+    // SAFETY: caller must have verified SSSE3 via runtime
+    // detection; all vector loads/stores below are unaligned and
+    // bounded by the slice lengths, so no other obligations exist.
     #[target_feature(enable = "ssse3")]
     pub(super) unsafe fn gf256_mul_row_add_ssse3(dst: &mut [u8], src: &[u8], s: u8) {
         let (lo, hi) = gf256_nibble_tables(s);
@@ -185,6 +196,9 @@ mod x86 {
         gf256_mul_row_add_portable(&mut dst[i..], &src[i..], s);
     }
 
+    // SAFETY: caller must have verified AVX2 via runtime
+    // detection; all vector loads/stores below are unaligned and
+    // bounded by the slice lengths, so no other obligations exist.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn gf256_mul_row_add_avx2(dst: &mut [u8], src: &[u8], s: u8) {
         let (lo, hi) = gf256_nibble_tables(s);
@@ -208,6 +222,9 @@ mod x86 {
         gf256_mul_row_add_portable(&mut dst[i..], &src[i..], s);
     }
 
+    // SAFETY: caller must have verified SSSE3 via runtime
+    // detection; all vector loads/stores below are unaligned and
+    // bounded by the slice lengths, so no other obligations exist.
     #[target_feature(enable = "ssse3")]
     pub(super) unsafe fn gf256_scale_row_ssse3(row: &mut [u8], s: u8) {
         let (lo, hi) = gf256_nibble_tables(s);
@@ -230,6 +247,9 @@ mod x86 {
         }
     }
 
+    // SAFETY: caller must have verified AVX2 via runtime
+    // detection; all vector loads/stores below are unaligned and
+    // bounded by the slice lengths, so no other obligations exist.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn gf256_scale_row_avx2(row: &mut [u8], s: u8) {
         let (lo, hi) = gf256_nibble_tables(s);
@@ -284,6 +304,9 @@ mod x86 {
         t
     }
 
+    // SAFETY: caller must have verified SSSE3 via runtime
+    // detection; all vector loads/stores below are unaligned and
+    // bounded by the slice lengths, so no other obligations exist.
     #[target_feature(enable = "ssse3")]
     pub(super) unsafe fn gf2_16_mul_row_add_ssse3(dst: &mut [Gf2_16], src: &[Gf2_16], s: Gf2_16) {
         let t = gf2_16_nibble_tables(s);
@@ -330,6 +353,9 @@ mod x86 {
         }
     }
 
+    // SAFETY: caller must have verified AVX2 via runtime
+    // detection; all vector loads/stores below are unaligned and
+    // bounded by the slice lengths, so no other obligations exist.
     #[target_feature(enable = "avx2")]
     pub(super) unsafe fn gf2_16_mul_row_add_avx2(dst: &mut [Gf2_16], src: &[Gf2_16], s: Gf2_16) {
         let t = gf2_16_nibble_tables(s);
@@ -405,11 +431,15 @@ pub(crate) fn gf2_16_mul_row_add(dst: &mut [Gf2_16], src: &[Gf2_16], s: Gf2_16) 
     match tier_enum() {
         #[cfg(target_arch = "x86_64")]
         Tier::Avx2 => {
+            // SAFETY: this tier is only selected after runtime detection
+            // proved AVX2 is available on this CPU.
             unsafe { gf2_16_mul_row_add_avx2(dst, src, s) };
             true
         }
         #[cfg(target_arch = "x86_64")]
         Tier::Ssse3 => {
+            // SAFETY: this tier is only selected after runtime detection
+            // proved SSSE3 is available on this CPU.
             unsafe { gf2_16_mul_row_add_ssse3(dst, src, s) };
             true
         }

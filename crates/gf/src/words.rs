@@ -45,7 +45,7 @@ impl WordMatrix {
     pub fn zero(rows: usize, cols: usize) -> Self {
         let len = rows
             .checked_mul(cols)
-            .expect("WordMatrix dimensions overflow usize");
+            .expect("WordMatrix dimensions overflow usize"); // nab-lint: allow(NAB003): dimension overflow is unrecoverable misuse; documented panic
         WordMatrix {
             rows,
             cols,

@@ -1,0 +1,493 @@
+//! A minimal Rust lexer for token-level static analysis.
+//!
+//! The rules in this crate only need a faithful *token stream* — idents,
+//! punctuation, literals — with source positions, plus the comments
+//! (which carry `SAFETY:` justifications and `nab-lint:` suppressions).
+//! What makes a grep-based linter lie is exactly what this lexer gets
+//! right: string literals (including raw `r#"…"#` and byte strings),
+//! char literals vs. lifetimes, nested block comments, and float
+//! literals vs. ranges (`1.5` is a float, `1..5` is not).
+//!
+//! It is intentionally *not* a parser: no token trees, no precedence.
+//! Anything it cannot classify becomes a single-character punct token,
+//! so lexing never fails — an essential property for a tool that must
+//! run over every file in the workspace, fixtures included.
+
+/// Classification of one token.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `HashMap`, `f64`, …).
+    Ident,
+    /// Single punctuation character (`:`, `(`, `*`, …).
+    Punct,
+    /// String, byte-string, or raw-string literal.
+    Str,
+    /// Character literal (`'x'`, `'\n'`).
+    Char,
+    /// Integer literal (also hex/octal/binary).
+    Int,
+    /// Floating-point literal (`1.5`, `2e9`, `3f64`).
+    Float,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// One comment (line or block) with its 1-based *start* position.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+    /// `true` when code tokens precede the comment on its start line.
+    pub trailing: bool,
+}
+
+/// The result of lexing one file: tokens and comments, in source order.
+#[derive(Default, Debug)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unrecognized bytes
+/// become punct tokens.
+pub fn lex(src: &str) -> Lexed {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+    // Line of the most recent token, to classify comments as trailing.
+    let mut last_tok_line = 0u32;
+    while let Some(b) = c.peek() {
+        let (line, col) = (c.line, c.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                let start = c.pos;
+                while c.peek().is_some_and(|b| b != b'\n') {
+                    c.bump();
+                }
+                out.comments.push(Comment {
+                    text: src[start..c.pos].to_string(),
+                    line,
+                    col,
+                    trailing: last_tok_line == line,
+                });
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                let start = c.pos;
+                c.bump();
+                c.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            c.bump();
+                            c.bump();
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..c.pos].to_string(),
+                    line,
+                    col,
+                    trailing: last_tok_line == line,
+                });
+            }
+            b'"' => {
+                let text = lex_string(&mut c, src);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+                last_tok_line = c.line;
+            }
+            b'\'' => {
+                let (kind, text) = lex_quote(&mut c, src);
+                out.toks.push(Tok {
+                    kind,
+                    text,
+                    line,
+                    col,
+                });
+                last_tok_line = c.line;
+            }
+            b'r' | b'b' if raw_string_ahead(&c) => {
+                let text = lex_raw_or_byte_string(&mut c, src);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+                last_tok_line = c.line;
+            }
+            _ if is_ident_start(b) => {
+                let start = c.pos;
+                while c.peek().is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..c.pos].to_string(),
+                    line,
+                    col,
+                });
+                last_tok_line = line;
+            }
+            _ if b.is_ascii_digit() => {
+                let (kind, text) = lex_number(&mut c, src);
+                out.toks.push(Tok {
+                    kind,
+                    text,
+                    line,
+                    col,
+                });
+                last_tok_line = line;
+            }
+            _ => {
+                c.bump();
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+                last_tok_line = line;
+            }
+        }
+    }
+    out
+}
+
+/// Does the cursor sit on an `r"`, `r#`, `b"`, `br"`, or `br#` literal
+/// prefix (as opposed to an identifier starting with `r`/`b`)?
+fn raw_string_ahead(c: &Cursor) -> bool {
+    let mut i = 1;
+    if c.peek() == Some(b'b') && c.peek_at(1) == Some(b'r') {
+        i = 2;
+    }
+    match (c.peek(), c.peek_at(i)) {
+        (Some(b'b'), Some(b'"')) => true,
+        (Some(b'r') | Some(b'b'), Some(b'"') | Some(b'#')) => {
+            // `r#foo` raw identifiers: `r#` followed by ident-start is an
+            // identifier, not a string. Require a `"` after the hashes.
+            let mut j = i;
+            while c.peek_at(j) == Some(b'#') {
+                j += 1;
+            }
+            c.peek_at(j) == Some(b'"')
+        }
+        _ => false,
+    }
+}
+
+fn lex_string(c: &mut Cursor, src: &str) -> String {
+    let start = c.pos;
+    c.bump(); // opening quote
+    while let Some(b) = c.peek() {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'"' => {
+                c.bump();
+                break;
+            }
+            _ => {
+                c.bump();
+            }
+        }
+    }
+    src[start..c.pos].to_string()
+}
+
+fn lex_raw_or_byte_string(c: &mut Cursor, src: &str) -> String {
+    let start = c.pos;
+    if c.peek() == Some(b'b') {
+        c.bump();
+    }
+    if c.peek() == Some(b'r') {
+        c.bump();
+        let mut hashes = 0usize;
+        while c.peek() == Some(b'#') {
+            hashes += 1;
+            c.bump();
+        }
+        c.bump(); // opening quote
+        loop {
+            match c.peek() {
+                None => break,
+                Some(b'"') => {
+                    c.bump();
+                    let mut seen = 0usize;
+                    while seen < hashes && c.peek() == Some(b'#') {
+                        seen += 1;
+                        c.bump();
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {
+                    c.bump();
+                }
+            }
+        }
+    } else {
+        // b"..." — an escaped string body.
+        let _ = lex_string(c, src);
+    }
+    src[start..c.pos].to_string()
+}
+
+/// Distinguishes a char literal from a lifetime after a leading `'`.
+fn lex_quote(c: &mut Cursor, src: &str) -> (TokKind, String) {
+    let start = c.pos;
+    c.bump(); // the quote
+              // Lifetime: 'ident not followed by a closing quote.
+    if c.peek().is_some_and(is_ident_start) && c.peek() != Some(b'\\') {
+        let mut j = 0;
+        while c.peek_at(j).is_some_and(is_ident_continue) {
+            j += 1;
+        }
+        if c.peek_at(j) != Some(b'\'') {
+            while c.peek().is_some_and(is_ident_continue) {
+                c.bump();
+            }
+            return (TokKind::Lifetime, src[start..c.pos].to_string());
+        }
+    }
+    // Char literal: consume (escaped) content until the closing quote.
+    while let Some(b) = c.peek() {
+        match b {
+            b'\\' => {
+                c.bump();
+                c.bump();
+            }
+            b'\'' => {
+                c.bump();
+                break;
+            }
+            _ => {
+                c.bump();
+            }
+        }
+    }
+    (TokKind::Char, src[start..c.pos].to_string())
+}
+
+fn lex_number(c: &mut Cursor, src: &str) -> (TokKind, String) {
+    let start = c.pos;
+    let radix_prefixed = c.peek() == Some(b'0')
+        && matches!(
+            c.peek_at(1),
+            Some(b'x') | Some(b'X') | Some(b'o') | Some(b'O') | Some(b'b') | Some(b'B')
+        );
+    // The main run: digits, `_`, and alphanumeric suffix characters.
+    while c.peek().is_some_and(is_ident_continue) {
+        c.bump();
+    }
+    let mut is_float = false;
+    // A decimal point followed by a digit (so `1..5` and `1.max()` stay
+    // integers).
+    if !radix_prefixed && c.peek() == Some(b'.') && c.peek_at(1).is_some_and(|b| b.is_ascii_digit())
+    {
+        is_float = true;
+        c.bump();
+        while c.peek().is_some_and(is_ident_continue) {
+            c.bump();
+        }
+    }
+    // Exponent sign: `1e-3` / `2.5E+10` leave the run at `-`/`+`.
+    if c.peek() == Some(b'-') || c.peek() == Some(b'+') {
+        let prev = src.as_bytes()[c.pos - 1];
+        if (prev == b'e' || prev == b'E') && !radix_prefixed {
+            is_float = true;
+            c.bump();
+            while c.peek().is_some_and(is_ident_continue) {
+                c.bump();
+            }
+        }
+    }
+    let text = &src[start..c.pos];
+    if !radix_prefixed && (text.ends_with("f32") || text.ends_with("f64")) {
+        is_float = true;
+    }
+    if !radix_prefixed && !is_float {
+        // `2e9` style exponents without a sign live inside the ident run.
+        let body = text.trim_end_matches(|ch: char| ch == 'u' || ch.is_ascii_digit());
+        if body.contains('e') || body.contains('E') {
+            let mantissa_exp = text.trim_end_matches(|ch: char| ch.is_ascii_digit() || ch == '_');
+            if (mantissa_exp.ends_with('e') || mantissa_exp.ends_with('E'))
+                && text.len() > mantissa_exp.len()
+            {
+                is_float = true;
+            }
+        }
+    }
+    let kind = if is_float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    };
+    (kind, text.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = texts("let x: u32 = y;");
+        assert_eq!(t[0], (TokKind::Ident, "let".into()));
+        assert_eq!(t[2], (TokKind::Punct, ":".into()));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let l = lex(r#"let s = "Instant::now() // not a comment";"#);
+        assert!(l.toks.iter().all(|t| t.text != "Instant"));
+        assert!(l.comments.is_empty());
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let l = lex("let s = r#\"quote \" inside\"#; let t = r\"x\"; let u = b\"y\";");
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 3);
+    }
+
+    #[test]
+    fn raw_identifier_is_not_a_string() {
+        let l = lex("let r#type = 1;");
+        assert!(l.toks.iter().any(|t| t.text == "type"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still outer */ fn x() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("inner"));
+        assert_eq!(l.toks[0].text, "fn");
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        let chars = l.toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn float_vs_range_vs_method() {
+        let f = |src: &str| {
+            lex(src)
+                .toks
+                .iter()
+                .filter(|t| t.kind == TokKind::Float)
+                .count()
+        };
+        assert_eq!(f("let x = 1.5;"), 1);
+        assert_eq!(f("let x = 1..5;"), 0);
+        assert_eq!(f("let x = 1.max(2);"), 0);
+        assert_eq!(f("let x = 2e9;"), 1);
+        assert_eq!(f("let x = 1e-3;"), 1);
+        assert_eq!(f("let x = 3f64;"), 1);
+        assert_eq!(f("let x = 0xep8;"), 0); // hex digits never float
+        assert_eq!(f("let x = 1_000;"), 0);
+    }
+
+    #[test]
+    fn trailing_comment_flag() {
+        let l = lex("let x = 1; // trailing\n// leading\nlet y = 2;");
+        assert!(l.comments[0].trailing);
+        assert!(!l.comments[1].trailing);
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let l = lex("a\n  b");
+        assert_eq!((l.toks[0].line, l.toks[0].col), (1, 1));
+        assert_eq!((l.toks[1].line, l.toks[1].col), (2, 3));
+    }
+}

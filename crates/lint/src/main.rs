@@ -1,0 +1,103 @@
+//! The `nab-lint` CLI.
+//!
+//! ```text
+//! nab-lint [--deny] [--json] [--root DIR] [FILE...]
+//! ```
+//!
+//! With no `FILE` arguments, lints the whole workspace under `--root`
+//! (default: the current directory, which is the workspace root under
+//! `cargo run -p nab-lint`). Exit codes: `0` clean (or findings without
+//! `--deny`), `1` findings under `--deny`, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use nab_lint::{lint_file, lint_workspace, render_json_report, Code, Config, Diagnostic};
+
+const USAGE: &str = "nab-lint: static analysis for the NAB workspace
+
+USAGE:
+    nab-lint [--deny] [--json] [--root DIR] [FILE...]
+
+OPTIONS:
+    --deny        exit 1 when any finding survives suppression
+    --json        machine-readable output (one JSON document)
+    --root DIR    workspace root to scan (default: .)
+    FILE...       lint only these files (paths relative to the root)
+    --help        print this help
+
+RULES:";
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => {
+                    eprintln!("--root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                for c in Code::ALL {
+                    println!("    {}", c.as_str());
+                }
+                return ExitCode::SUCCESS;
+            }
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => {
+                eprintln!("unknown flag `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let cfg = Config::workspace_default();
+    let diags: Vec<Diagnostic> = if files.is_empty() {
+        match lint_workspace(&root, &cfg) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("nab-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut d = Vec::new();
+        for rel in &files {
+            let path = root.join(rel);
+            match std::fs::read_to_string(&path) {
+                Ok(src) => d.extend(lint_file(rel, &src, &cfg)),
+                Err(e) => {
+                    eprintln!("nab-lint: read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        d
+    };
+
+    if json {
+        println!("{}", render_json_report(&diags));
+    } else {
+        for d in &diags {
+            println!("{}", d.render_human());
+        }
+        if diags.is_empty() {
+            eprintln!("nab-lint: clean");
+        } else {
+            eprintln!("nab-lint: {} finding(s)", diags.len());
+        }
+    }
+    if deny && !diags.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,5 @@
+// nab-lint: allow(NAB003)
+pub fn missing_reason() {}
+
+// nab-lint: allow(NAB999): no such rule
+pub fn unknown_code() {}

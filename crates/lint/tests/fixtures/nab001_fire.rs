@@ -1,0 +1,9 @@
+use std::time::{Instant, SystemTime};
+
+pub fn measure() -> Instant {
+    Instant::now()
+}
+
+pub fn wall() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,6 @@
+// nab-lint: allow-file(NAB002): point lookups only; never iterated toward canonical output
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}

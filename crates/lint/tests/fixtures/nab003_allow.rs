@@ -1,0 +1,11 @@
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap() // nab-lint: allow(NAB003): fixture invariant holds by construction
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u32).unwrap();
+    }
+}

@@ -1,0 +1,11 @@
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn must(x: Result<u32, String>) -> u32 {
+    x.expect("always ok")
+}
+
+pub fn never() {
+    panic!("boom");
+}

@@ -1,0 +1,6 @@
+pub fn read_first(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees the slice is non-empty, so the
+    // pointer read stays in bounds.
+    unsafe { *xs.as_ptr() }
+}

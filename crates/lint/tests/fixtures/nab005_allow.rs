@@ -1,0 +1,4 @@
+pub fn mean(xs: &[u64]) -> f64 {
+    let sum = xs.iter().sum::<u64>() as f64; // nab-lint: allow(NAB005): deterministic sum over a fixed order
+    sum / 2.0 // nab-lint: allow(NAB005): constant divisor
+}

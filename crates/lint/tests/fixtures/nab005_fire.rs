@@ -1,0 +1,4 @@
+pub fn mean(xs: &[u64]) -> f64 {
+    let sum = xs.iter().sum::<u64>() as f64;
+    sum / 2.0
+}

@@ -1,0 +1,26 @@
+//! Workspace self-check: the repository must lint clean under `--deny`.
+//!
+//! This is the same pass CI runs via `cargo run -p nab-lint -- --deny`,
+//! wired into `cargo test` so a finding fails the ordinary test suite too.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives two levels below the workspace root")
+        .to_path_buf();
+    let cfg = nab_lint::Config::workspace_default();
+    let diags = nab_lint::lint_workspace(&root, &cfg).expect("workspace scan succeeds");
+    assert!(
+        diags.is_empty(),
+        "workspace has lint findings:\n{}",
+        diags
+            .iter()
+            .map(|d| d.render_human())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -182,7 +182,7 @@ pub fn vertex_disjoint_paths(
         let mut path = vec![s];
         let mut cur = s;
         loop {
-            let next = flow_out[cur].pop().expect("flow decomposition ran dry");
+            let next = flow_out[cur].pop().expect("flow decomposition ran dry"); // nab-lint: allow(NAB003): flow conservation yields an outgoing unit at every non-sink
             path.push(next);
             if next == t {
                 break;

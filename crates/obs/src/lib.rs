@@ -31,6 +31,7 @@
 //!
 //! See `docs/observability.md` for the event taxonomy and usage.
 
+pub mod clock;
 pub mod metrics;
 pub mod trace;
 pub mod writer;

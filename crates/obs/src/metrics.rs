@@ -84,6 +84,23 @@ impl Histogram {
     /// addition plus exact-stat combination: commutative and associative,
     /// so any partition of the same samples merges to the same result.
     pub fn merge(&mut self, other: &Histogram) {
+        // DetSan: spot-check the commutativity claim above on the actual
+        // operands — merge the other way around and compare.
+        #[cfg(feature = "sanitize")]
+        let flipped = {
+            let mut f = other.clone();
+            f.merge_unchecked(self);
+            f
+        };
+        self.merge_unchecked(other);
+        #[cfg(feature = "sanitize")]
+        assert!(
+            *self == flipped,
+            "DetSan: histogram merge is not commutative for these operands"
+        );
+    }
+
+    fn merge_unchecked(&mut self, other: &Histogram) {
         for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *b += ob;
         }

@@ -127,6 +127,17 @@ pub enum EventKind {
         /// The exposed node's id.
         node: u32,
     },
+    /// Determinism-sanitizer digest of engine state at a phase boundary.
+    ///
+    /// Only emitted by builds with the `sanitize` feature enabled; two runs
+    /// of the same configuration must produce identical digest sequences,
+    /// so diffing traces pinpoints the first phase where determinism broke.
+    DetSanDigest {
+        /// The phase whose end state was digested.
+        phase: Phase,
+        /// FNV-1a digest of the canonical engine state after the phase.
+        digest: u64,
+    },
 }
 
 impl EventKind {
@@ -153,6 +164,7 @@ impl EventKind {
             EventKind::PlanDiskReject => "plan_disk_reject",
             EventKind::DisputeRaised { .. } => "dispute_raised",
             EventKind::NodeExposed { .. } => "node_exposed",
+            EventKind::DetSanDigest { .. } => "detsan_digest",
         }
     }
 }
@@ -210,7 +222,12 @@ impl BufferSink {
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.events.lock().unwrap().len()
+        // Poison-tolerant: the buffer only ever holds whole `Copy` events,
+        // so a panicked recorder cannot leave it torn.
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// True if nothing has been recorded.
@@ -220,7 +237,12 @@ impl BufferSink {
 
     /// Drain all recorded events, sorted by global sequence number.
     pub fn take_sorted(&self) -> Vec<Event> {
-        let mut out = std::mem::take(&mut *self.events.lock().unwrap());
+        let mut out = std::mem::take(
+            &mut *self
+                .events
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         out.sort_by_key(|e| e.seq);
         out
     }
@@ -228,7 +250,10 @@ impl BufferSink {
 
 impl TraceSink for BufferSink {
     fn record_batch(&self, events: &[Event]) {
-        self.events.lock().unwrap().extend_from_slice(events);
+        self.events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .extend_from_slice(events);
     }
 }
 
@@ -236,7 +261,7 @@ static SEQ: AtomicU64 = AtomicU64::new(0);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 
 fn epoch() -> Instant {
-    *EPOCH.get_or_init(Instant::now)
+    *EPOCH.get_or_init(crate::clock::mono_now)
 }
 
 struct ThreadState {

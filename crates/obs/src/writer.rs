@@ -72,6 +72,9 @@ fn write_jsonl_event(out: &mut String, ev: &Event) {
         EventKind::NodeExposed { node } => {
             let _ = write!(out, ",\"node\":{node}");
         }
+        EventKind::DetSanDigest { phase, digest } => {
+            let _ = write!(out, ",\"phase\":\"{}\",\"digest\":{digest}", phase.name());
+        }
         _ => {}
     }
     out.push('}');
@@ -152,6 +155,13 @@ fn write_chrome_event(out: &mut String, ev: &Event) {
                 }
                 EventKind::NodeExposed { node } => {
                     let _ = write!(out, ",\"args\":{{\"node\":{node}}}");
+                }
+                EventKind::DetSanDigest { phase, digest } => {
+                    let _ = write!(
+                        out,
+                        ",\"args\":{{\"phase\":\"{}\",\"digest\":{digest}}}",
+                        phase.name()
+                    );
                 }
                 _ => {
                     let _ = write!(out, ",\"args\":{{\"instance\":{}}}", ev.instance);

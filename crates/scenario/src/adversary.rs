@@ -52,6 +52,7 @@ impl NabAdversary for PanicInjector {
         child: NodeId,
         _honest: &[Gf2_16],
     ) -> Vec<Gf2_16> {
+        // nab-lint: allow(NAB003): chaos-panic adversary panics by design; harness catches the unwind
         panic!("chaos-panic adversary fired (source block, tree {tree}, child {child})");
     }
 
@@ -62,15 +63,16 @@ impl NabAdversary for PanicInjector {
         _child: NodeId,
         _honest: &[Gf2_16],
     ) -> Vec<Gf2_16> {
+        // nab-lint: allow(NAB003): chaos-panic adversary panics by design; harness catches the unwind
         panic!("chaos-panic adversary fired (forward, node {node}, tree {tree})");
     }
 
     fn equality_symbols(&mut self, src: NodeId, _dst: NodeId, _honest: &[Gf2_16]) -> Vec<Gf2_16> {
-        panic!("chaos-panic adversary fired (equality, node {src})");
+        panic!("chaos-panic adversary fired (equality, node {src})"); // nab-lint: allow(NAB003): chaos-panic adversary panics by design; harness catches the unwind
     }
 
     fn flag(&mut self, node: NodeId, _honest: bool) -> bool {
-        panic!("chaos-panic adversary fired (flag, node {node})");
+        panic!("chaos-panic adversary fired (flag, node {node})"); // nab-lint: allow(NAB003): chaos-panic adversary panics by design; harness catches the unwind
     }
 }
 

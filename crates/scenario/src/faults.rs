@@ -78,7 +78,7 @@ impl FaultSchedule {
                 let mut it = rest.split(':');
                 let count = it
                     .next()
-                    .unwrap()
+                    .unwrap_or("")
                     .parse()
                     .map_err(|_| format!("faults worst-case: bad count in {rest:?}"))?;
                 let max_candidates = match it.next() {

@@ -180,7 +180,7 @@ fn rewrite_caps(g: &mut DiGraph, links: usize, seed: u64, round: u64, f: impl Fn
     );
     for _ in 0..links {
         let id = ids[rng.gen_range(0..ids.len())];
-        let cap = g.edge(id).expect("selected edge is live").cap;
+        let cap = g.edge(id).expect("selected edge is live").cap; // nab-lint: allow(NAB003): edge id was drawn from the live edge list above
         g.set_edge_cap(id, f(cap));
     }
 }

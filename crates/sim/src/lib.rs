@@ -233,7 +233,7 @@ impl<M: Clone> NetSim<M> {
                 .graph
                 .find_edge(*src, *dst)
                 .map(|(_, e)| e.cap)
-                .expect("link vanished mid-round");
+                .expect("link vanished mid-round"); // nab-lint: allow(NAB003): send() verified the link; topology is frozen within a round
             duration = duration.max(*bits as f64 / cap as f64);
         }
         let sends = std::mem::take(&mut self.pending);

@@ -30,7 +30,6 @@ use std::collections::BTreeSet;
 use std::io::IsTerminal;
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
 
 use nab_repro::nab::bounds::bounds_report;
 use nab_repro::nab::engine::{run_many, NabConfig, NabEngine};
@@ -499,7 +498,7 @@ fn run_scenario_mode(args: &Args) -> Result<ExitCode, String> {
     // after the sweep, and a live --progress reporter on stderr (carriage-
     // return rewrite on a tty, one line per finished job otherwise).
     let sink = args.trace.as_ref().map(|_| Arc::new(BufferSink::new()));
-    let started = Instant::now();
+    let started = nab_obs::clock::mono_now();
     let stderr_tty = std::io::stderr().is_terminal();
     let report_progress = move |s: ProgressSnapshot| {
         let line = progress_line(&s, started.elapsed().as_secs_f64());
